@@ -1,0 +1,42 @@
+"""Ablation: the Section 3 non-Cyclic folding heuristic.
+
+Folding packs Flow-in/Flow-out work into idle slots of a Cyclic
+processor, trading processors for (at most small) delay — the paper:
+"inclusion of non-Cyclic nodes can be achieved with only small amount
+of delay".
+"""
+
+from repro.core.scheduler import schedule_loop
+from repro.metrics import percentage_parallelism, sequential_time
+from repro.workloads import livermore18
+
+from benchmarks.conftest import record
+
+
+def test_folding_ablation_livermore(benchmark):
+    w = livermore18()
+    n = 80
+
+    def run():
+        out = {}
+        for folding in ("never", "always"):
+            s = schedule_loop(w.graph, w.machine, folding=folding)
+            par = s.compile_schedule(n).makespan()
+            out[folding] = (
+                s.total_processors,
+                percentage_parallelism(sequential_time(w.graph, n), par),
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    procs_spread, sp_spread = out["never"]
+    procs_fold, sp_fold = out["always"]
+    # folding saves at least one processor...
+    assert procs_fold < procs_spread
+    # ...at only a small Sp cost (paper: "little or no additional delay")
+    assert sp_fold >= sp_spread - 8.0
+    record(
+        benchmark,
+        spread=f"{procs_spread} procs, Sp {sp_spread:.1f}",
+        folded=f"{procs_fold} procs, Sp {sp_fold:.1f}",
+    )

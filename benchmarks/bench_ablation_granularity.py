@@ -1,0 +1,61 @@
+"""Ablation: granularity (paper footnote 3).
+
+"Granularity should be chosen depending on machines, to make the
+execution time of a node within the same order of magnitude as
+communication cost."  We sweep the communication cost on Livermore 18
+and compare fine-grain scheduling against chain-clustered scheduling:
+clustering should win once messages dwarf node latencies and cost
+nothing when they don't.
+"""
+
+from repro.core.scheduler import schedule_loop
+from repro.graph.cluster import coarsen_chains
+from repro.machine.comm import UniformComm
+from repro.metrics import percentage_parallelism, sequential_time
+from repro.sim.fastpath import evaluate
+from repro.workloads import livermore18
+
+from benchmarks.conftest import record
+
+
+def test_granularity_sweep(benchmark):
+    w = livermore18()
+    g = w.graph
+    n = 60
+    seq = sequential_time(g, n)
+    cl = coarsen_chains(g)
+
+    def run():
+        out = {}
+        for k in (1, 2, 6, 12):
+            m = w.machine.with_comm(UniformComm(k))
+            fine = schedule_loop(g, m)
+            fine_sp = percentage_parallelism(
+                seq,
+                min(evaluate(g, fine.program(n), m.comm).makespan(), seq),
+            )
+            coarse = schedule_loop(cl.coarse, m)
+            prog = cl.expand_program(coarse.program(n))
+            coarse_sp = percentage_parallelism(
+                seq, min(evaluate(g, prog, m.comm).makespan(), seq)
+            )
+            out[k] = (fine_sp, coarse_sp)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    # cheap communication: fine grain is at least as good
+    assert out[1][0] >= out[1][1] - 2.0
+    # expensive communication: clustering catches up or wins
+    assert out[12][1] >= out[12][0] - 2.0
+    # clustering's Sp degrades more slowly as k grows
+    fine_drop = out[1][0] - out[12][0]
+    coarse_drop = out[1][1] - out[12][1]
+    assert coarse_drop <= fine_drop + 2.0
+    record(
+        benchmark,
+        ratio=f"{cl.ratio:.2f} original nodes per cluster",
+        sweep={
+            k: f"fine {v[0]:.1f} / clustered {v[1]:.1f}"
+            for k, v in out.items()
+        },
+    )

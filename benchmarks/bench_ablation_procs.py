@@ -1,0 +1,34 @@
+"""Ablation: processor-count sweep.
+
+The paper assumes "a sufficient number" of processors.  We sweep the
+Cyclic scheduler's budget and check (a) the pattern rate improves
+monotonically-ish and saturates, (b) beyond saturation extra processors
+change nothing (the greedy only takes what helps).
+"""
+
+from repro.core.scheduler import schedule_loop
+from repro.workloads import fig7, livermore18
+
+from benchmarks.conftest import record
+
+
+def test_processor_sweep(benchmark):
+    def run():
+        rates = {}
+        for w in (fig7(), livermore18()):
+            for p in (1, 2, 4, 8, 12):
+                m = w.machine.with_processors(p)
+                s = schedule_loop(w.graph, m)
+                rates[(w.name, p)] = s.steady_cycles_per_iteration()
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in ("fig7", "livermore18"):
+        series = [rates[(name, p)] for p in (1, 2, 4, 8, 12)]
+        # more processors never hurt the steady rate (same greedy,
+        # strictly larger choice set at every step is not guaranteed to
+        # help monotonically, but saturation must appear)
+        assert series[-1] == series[-2], (name, series)
+        # one processor = serial rate
+        assert series[0] >= max(series)
+    record(benchmark, rates={f"{n}/p{p}": r for (n, p), r in rates.items()})

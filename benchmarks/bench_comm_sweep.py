@@ -1,0 +1,37 @@
+"""E-concl: the conclusion's robustness claim.
+
+"Our approach can achieve higher performance, even when the estimation
+of communication cost is far off the mark, and the actual cost of
+communication is relatively high (7 times the basic node execution
+time)."  We schedule with k = 3 and execute with worst-case true cost
+swept up to 14 cycles.
+"""
+
+from repro.experiments import run_comm_sweep
+
+from benchmarks.conftest import record
+
+
+def test_conclusion_robustness_sweep(benchmark):
+    pts = benchmark.pedantic(
+        run_comm_sweep,
+        kwargs=dict(seeds=range(1, 11), iterations=40),
+        rounds=1,
+        iterations=1,
+    )
+    by_k = {p.true_k: p for p in pts}
+    # profitable at ~7x node execution time (node latencies are 1..3)
+    assert by_k[7].sp_ours > 20.0
+    # and still beating DOACROSS by a growing factor
+    for k in (3, 7, 14):
+        assert by_k[k].sp_ours > 2 * by_k[k].sp_doacross
+    # graceful degradation: Sp declines slowly as true cost quadruples
+    assert by_k[14].sp_ours > 0.5 * by_k[3].sp_ours
+    record(
+        benchmark,
+        paper="profitable even at 7x node execution time",
+        sweep={
+            p.true_k: f"ours {p.sp_ours:.1f} doacross {p.sp_doacross:.1f}"
+            for p in pts
+        },
+    )

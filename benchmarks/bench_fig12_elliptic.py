@@ -1,0 +1,39 @@
+"""E-fig12: the fifth-order elliptic wave filter (paper Fig. 12).
+
+Paper: ours 30.9% vs DOACROSS 0% with k = 2; only node 34 is
+non-Cyclic (a Flow-out node).  Graph is a documented reconstruction of
+the 34-op HLS benchmark (26 adds @1, 8 mults @2).
+"""
+
+import pytest
+
+from repro.core.classify import classify
+from repro.experiments import run_fig12
+from repro.workloads import elliptic_filter
+
+from benchmarks.conftest import record
+
+
+def test_fig12_percentage_parallelism(benchmark):
+    m = benchmark(run_fig12)
+    assert m.sp_ours == pytest.approx(30.9, abs=4.0)
+    assert m.sp_doacross == 0.0
+    record(
+        benchmark,
+        paper_sp_ours=30.9,
+        measured_sp_ours=round(m.sp_ours, 1),
+        paper_sp_doacross=0.0,
+        measured_sp_doacross=round(m.sp_doacross, 1),
+    )
+
+
+def test_fig12_classification(benchmark):
+    w = elliptic_filter()
+    c = benchmark(classify, w.graph)
+    assert c.flow_out == ("e34",)
+    assert len(c.cyclic) == 33
+    record(
+        benchmark,
+        paper="only node 34 is non-Cyclic (a Flow-out node)",
+        measured_flow_out=" ".join(c.flow_out),
+    )

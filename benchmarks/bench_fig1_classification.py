@@ -1,0 +1,36 @@
+"""E-fig1: the classification example (paper Fig. 1).
+
+Regenerates the Flow-in / Cyclic / Flow-out split the paper states for
+its example graph and times the classification algorithm (paper: O(E)).
+"""
+
+from repro.core.classify import classify
+from repro.workloads import fig1
+
+from benchmarks.conftest import record
+
+
+def test_fig1_classification(benchmark):
+    w = fig1()
+    c = benchmark(classify, w.graph)
+    assert c.flow_in == ("A", "B", "C", "D", "F")
+    assert c.cyclic == ("E", "I", "K", "L")
+    assert c.flow_out == ("G", "H", "J")
+    record(
+        benchmark,
+        paper_flow_in="A B C D F",
+        measured_flow_in=" ".join(c.flow_in),
+        paper_cyclic="E I K L",
+        measured_cyclic=" ".join(c.cyclic),
+        paper_flow_out="G H J",
+        measured_flow_out=" ".join(c.flow_out),
+    )
+
+
+def test_classification_scales_linearly(benchmark):
+    """O(E) claim: classify a 400-node graph well under a millisecond
+    budget per edge."""
+    from repro.workloads import random_loop
+
+    g = random_loop(1, nodes=400, sds=200, lcds=200)
+    benchmark(classify, g)

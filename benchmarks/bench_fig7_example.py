@@ -1,0 +1,28 @@
+"""E-fig7: the worked example (paper Fig. 7, Sp = 40 vs DOACROSS 0).
+
+Runs the full pipeline — dependence analysis, classification,
+Cyclic-sched, simulation — on the five-statement loop with
+lv = (1,1,1,1,1) and k = 2, and checks the paper's numbers exactly.
+"""
+
+import pytest
+
+from repro.experiments import run_fig7
+
+from benchmarks.conftest import record
+
+
+def test_fig7_percentage_parallelism(benchmark):
+    m = benchmark(run_fig7)
+    assert m.sp_ours == pytest.approx(40.0, abs=0.2)
+    assert m.sp_doacross == 0.0
+    assert m.ours_rate == pytest.approx(3.0)  # 3 cycles/iteration pattern
+    record(
+        benchmark,
+        paper_sp_ours=40.0,
+        measured_sp_ours=round(m.sp_ours, 1),
+        paper_sp_doacross=0.0,
+        measured_sp_doacross=round(m.sp_doacross, 1),
+        paper_rate=3.0,
+        measured_rate=m.ours_rate,
+    )

@@ -1,0 +1,29 @@
+"""E-fig8: DOACROSS on the Fig. 7 loop, natural and optimally reordered.
+
+Paper Fig. 8: DOACROSS yields the sequential schedule, and "even with
+an optimal reordering, obtained by an exhaustive search, DOACROSS would
+still yield no performance improvement".
+"""
+
+from repro.experiments import run_fig8
+
+from benchmarks.conftest import record
+
+
+def test_fig8_doacross_gains_nothing(benchmark):
+    r = benchmark(run_fig8)
+    assert r.sp_natural == 0.0
+    assert r.sp_reordered == 0.0
+    # reordering can shave the delay (7 -> 6) but never below the body
+    assert r.reordered.delay <= r.natural.delay
+    assert r.reordered.delay >= 5
+    record(
+        benchmark,
+        paper_sp_natural=0.0,
+        measured_sp_natural=round(r.sp_natural, 1),
+        paper_sp_reordered=0.0,
+        measured_sp_reordered=round(r.sp_reordered, 1),
+        natural_delay=r.natural.delay,
+        reordered_delay=r.reordered.delay,
+        reordered_body="-".join(r.reordered.body_order),
+    )

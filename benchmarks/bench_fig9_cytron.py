@@ -1,0 +1,43 @@
+"""E-fig9: the Cytron86 example (paper Figs. 9/10).
+
+Paper: ours 72.7% vs DOACROSS 31.8%, Flow-in on ceil(L/H) = 3 extra
+processors.  The graph is a documented reconstruction (see
+repro.workloads.cytron86).
+"""
+
+import pytest
+
+from repro.core.scheduler import schedule_loop
+from repro.experiments import run_fig9
+from repro.workloads import cytron86
+
+from benchmarks.conftest import record
+
+
+def test_fig9_percentage_parallelism(benchmark):
+    m = benchmark(run_fig9)
+    assert m.sp_ours == pytest.approx(72.7, abs=1.0)
+    assert m.sp_doacross == pytest.approx(31.8, abs=1.0)
+    record(
+        benchmark,
+        paper_sp_ours=72.7,
+        measured_sp_ours=round(m.sp_ours, 1),
+        paper_sp_doacross=31.8,
+        measured_sp_doacross=round(m.sp_doacross, 1),
+    )
+
+
+def test_fig9_flow_in_processor_count(benchmark):
+    w = cytron86()
+    s = benchmark(schedule_loop, w.graph, w.machine)
+    assert s.plan is not None
+    # paper Fig. 10: p = ceil(L/H) = ceil(16/6) = 3 flow-in processors
+    assert s.plan.flow_in_procs == 3
+    assert s.pattern.height == 6
+    record(
+        benchmark,
+        paper_flow_in_procs=3,
+        measured_flow_in_procs=s.plan.flow_in_procs,
+        paper_pattern_height=6,
+        measured_pattern_height=s.pattern.height,
+    )

@@ -1,0 +1,73 @@
+"""Scheduler-cost claims of paper §2.2.
+
+* "M is typically very small, less than 10 in all the examples we ran"
+  — M is the number of loop unrollings before a pattern is detected;
+* pattern-detection work approaches O(N) per scheduled instance once
+  the schedule stabilizes (we check the window-hashing volume stays
+  close to linear in the schedule length).
+"""
+
+from repro.core.classify import classify
+from repro.core.cyclic import schedule_cyclic
+from repro.core.scheduler import schedule_loop
+from repro.workloads import cytron86, elliptic_filter, fig3, fig7, livermore18
+
+from benchmarks.conftest import record
+
+
+def _cyclic(w):
+    return w.graph.subgraph(classify(w.graph).cyclic)
+
+
+def test_unrollings_small_on_paper_examples(benchmark):
+    def run():
+        out = {}
+        for w in (fig3(), fig7(), cytron86(), livermore18(), elliptic_filter()):
+            s = schedule_loop(w.graph, w.machine)
+            out[w.name] = s.stats.unrollings
+        return out
+
+    unrollings = benchmark.pedantic(run, rounds=1, iterations=1)
+    # paper: "less than 10 in all the examples we ran"
+    assert all(m <= 10 for m in unrollings.values()), unrollings
+    record(benchmark, paper="M < 10 on all examples", measured=unrollings)
+
+
+def test_cyclic_sched_throughput(benchmark):
+    """Raw Cyclic-sched speed on the largest paper example."""
+    w = elliptic_filter()
+    g = _cyclic(w)
+    result = benchmark(schedule_cyclic, g, w.machine)
+    record(
+        benchmark,
+        instances_scheduled=result.stats.instances_scheduled,
+        windows_hashed=result.stats.windows_hashed,
+    )
+
+
+def test_detection_work_stays_linear(benchmark):
+    """Windows hashed grows ~linearly with instances scheduled."""
+    from repro.workloads import random_cyclic_loop
+
+    def run():
+        points = []
+        for seed in (2, 4, 9, 11, 13):
+            w = random_cyclic_loop(seed)
+            from repro.graph.algorithms import connected_components
+
+            for comp in connected_components(w.graph):
+                sub = w.graph.subgraph(comp)
+                if len(sub) < 2:
+                    continue
+                r = schedule_cyclic(sub, w.machine)
+                points.append(
+                    (r.stats.instances_scheduled, r.stats.windows_hashed)
+                )
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for instances, windows in points:
+        # each scheduled instance contributes O(latency) new stable
+        # cycles, hence O(1) new windows: allow a small constant factor
+        assert windows <= 12 * instances + 200
+    record(benchmark, points=points)

@@ -1,0 +1,43 @@
+"""Substrate performance: closed-form evaluator vs event-driven engine.
+
+Both implement the same machine semantics (property-tested equal); the
+fastpath is what the experiment harness uses, the engine provides
+traces.  This benchmark documents the cost ratio on a realistic
+program (Livermore 18, 200 iterations).
+"""
+
+from repro.core.scheduler import schedule_loop
+from repro.sim.engine import simulate
+from repro.sim.fastpath import evaluate
+from repro.workloads import livermore18
+
+from benchmarks.conftest import record
+
+
+def _program():
+    w = livermore18()
+    s = schedule_loop(w.graph, w.machine)
+    return w, s.program(200)
+
+
+def test_fastpath_speed(benchmark):
+    w, prog = _program()
+    sched = benchmark(evaluate, w.graph, prog, w.machine.comm)
+    record(benchmark, ops=len(sched), makespan=sched.makespan())
+
+
+def test_engine_speed(benchmark):
+    w, prog = _program()
+    trace = benchmark(simulate, w.graph, prog, w.machine.comm)
+    record(
+        benchmark,
+        ops=len(trace.schedule),
+        messages=trace.message_count(),
+    )
+
+
+def test_engines_agree_on_benchmark_program():
+    w, prog = _program()
+    fast = evaluate(w.graph, prog, w.machine.comm)
+    slow = simulate(w.graph, prog, w.machine.comm, use_runtime=False)
+    assert fast.makespan() == slow.schedule.makespan()

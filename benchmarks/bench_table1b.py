@@ -1,0 +1,39 @@
+"""E-tab1b: Table 1(b) — column averages and the DOACROSS speed-up factor.
+
+Paper: average percentage parallelism 47.4/39.1/30.3 (ours) versus
+16.3/13.1/9.5 (DOACROSS) at mm = 1/3/5 — a factor of 2.9/3.0/3.3 that
+*improves* as communication becomes less predictable, the paper's
+headline robustness finding.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+
+from benchmarks.conftest import record
+
+PAPER = {1: (47.4, 16.3, 2.9), 3: (39.1, 13.1, 3.0), 5: (30.3, 9.5, 3.3)}
+
+
+def test_table1b_averages_and_factor(benchmark):
+    t = benchmark.pedantic(
+        run_table1, kwargs=dict(iterations=50), rounds=1, iterations=1
+    )
+    info = {}
+    for mm, (po, pd, pf) in PAPER.items():
+        ours, doa, f = t.mean_ours(mm), t.mean_doacross(mm), t.factor(mm)
+        info[f"mm{mm}"] = (
+            f"ours {ours:.1f} (paper {po}), doacross {doa:.1f} "
+            f"(paper {pd}), factor {f:.1f} (paper {pf})"
+        )
+        # aggregate shape: same ballpark as the paper (our schedules
+        # cross processors a little less, so they degrade more gently
+        # with mm than the authors' — see EXPERIMENTS.md)
+        assert ours == pytest.approx(po, abs=12)
+        assert doa == pytest.approx(pd, abs=7)
+        assert f >= 2.0
+    # the robustness headline: the factor does not degrade with mm
+    assert t.factor(5) >= t.factor(1)
+    # and our averages degrade gracefully with mm
+    assert t.mean_ours(1) >= t.mean_ours(3) >= t.mean_ours(5)
+    record(benchmark, **info)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Full compiler pipeline on a real kernel: the 18th Livermore Loop.
+
+Demonstrates everything a downstream user would do with a non-trivial
+loop: classification, pattern scheduling with communication cost,
+Flow-in handling (extra processors vs folding), partitioned-code
+generation, and *verified* parallel execution — the generated program
+is executed with message-passing semantics and compared value-for-value
+against the sequential interpreter.
+
+Run:  python examples/livermore18_pipeline.py
+"""
+
+from repro import classify, percentage_parallelism, schedule_loop, sequential_time
+from repro.codegen import partition, verify_against_sequential
+from repro.sim import evaluate, simulate
+from repro.workloads import livermore18
+
+
+def main() -> None:
+    w = livermore18()
+    graph, machine = w.graph, w.machine
+
+    c = classify(graph)
+    print(f"Livermore 18 ({len(graph)} statements, "
+          f"{graph.total_latency()} cycles/iteration sequential):")
+    print(f"  flow-in {len(c.flow_in)} nodes: {', '.join(c.flow_in)}")
+    print(f"  cyclic  {len(c.cyclic)} nodes (the recurrences through "
+          f"ZU/ZV/ZR/ZZ)")
+
+    for folding in ("never", "always"):
+        scheduled = schedule_loop(graph, machine, folding=folding)
+        n = 100
+        par = evaluate(graph, scheduled.program(n), machine.comm).makespan()
+        sp = percentage_parallelism(sequential_time(graph, n), par)
+        print(f"\nfolding={folding!r}: {scheduled.total_processors} "
+              f"processors, {scheduled.pattern.describe()}")
+        print(f"  Sp = {sp:.1f}%  (paper reports 49.4% for its graph)")
+
+    # generate + verify the partitioned program
+    scheduled = schedule_loop(graph, machine)
+    program = partition(scheduled, 24)
+    verify_against_sequential(w.loop, program)
+    print("\ncodegen: partitioned program computes exactly the "
+          "sequential values (24 iterations checked)")
+    print(f"  cross-processor transfers: {len(program.transfers())}")
+
+    trace = simulate(graph, scheduled.program(50), machine.comm)
+    print(f"  simulated 50 iterations: {trace.makespan} cycles, "
+          f"{trace.message_count()} messages, "
+          f"{trace.total_comm_cycles()} message-cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Advanced studies: optimality brackets and granularity tuning.
+
+Two questions a compiler engineer asks after reading the paper:
+
+1. *How good is the greedy pattern scheduler, really?*  For small
+   loops we bracket it between a certified lower bound and an exact
+   modulo-scheduling reference — and see that the paper's pattern
+   class (kernels spanning several iterations) expresses schedules
+   classic single-initiation modulo scheduling cannot.
+
+2. *What if nodes are much cheaper than messages?*  The paper's
+   footnote 3 says to coarsen granularity; we sweep the communication
+   cost on the Fig. 7 loop and show chain clustering taking over as
+   messages get expensive.
+
+Run:  python examples/optimality_and_granularity.py
+"""
+
+from repro import Machine, UniformComm, schedule_loop
+from repro.baselines.optimal import (
+    best_modulo_rate,
+    optimal_modulo_schedule,
+    rate_lower_bound,
+)
+from repro.graph.cluster import coarsen_chains
+from repro.metrics import percentage_parallelism, sequential_time
+from repro.sim import evaluate
+from repro.workloads import fig7
+
+
+def optimality_study() -> None:
+    w = fig7()
+    m = Machine(2, UniformComm(2))
+    greedy = schedule_loop(w.graph, m)
+    mod1 = optimal_modulo_schedule(w.graph, m)
+    mod2 = best_modulo_rate(w.graph, m, max_unroll=2)
+    print("Fig. 7 loop, 2 processors, k = 2 (cycles/iteration):")
+    print(f"  certified lower bound      : {rate_lower_bound(w.graph, m):.2f}")
+    print(f"  modulo schedule (1 iter)   : {mod1.period:.2f}"
+          f"   <- cannot express multi-iteration kernels")
+    print(f"  modulo schedule (<=2 iters): {mod2:.2f}")
+    print(f"  greedy pattern (the paper) : "
+          f"{greedy.steady_cycles_per_iteration():.2f}"
+          f"   <- matches the unrolled modulo reference")
+
+
+def granularity_study() -> None:
+    from repro.workloads import livermore18
+
+    w = livermore18()
+    g = w.graph
+    cl = coarsen_chains(g)
+    n = 60
+    seq = sequential_time(g, n)
+    print(f"\nGranularity sweep on Livermore 18 "
+          f"({len(g)} nodes -> {len(cl.coarse)} clusters):")
+    print(f"  {'k':>4s} {'fine-grain Sp':>14s} {'clustered Sp':>13s}")
+    for k in (1, 2, 6, 12):
+        m = w.machine.with_comm(UniformComm(k))
+        fine = schedule_loop(g, m)
+        fine_sp = percentage_parallelism(
+            seq, min(evaluate(g, fine.program(n), m.comm).makespan(), seq)
+        )
+        coarse = schedule_loop(cl.coarse, m)
+        prog = cl.expand_program(coarse.program(n))
+        coarse_sp = percentage_parallelism(
+            seq, min(evaluate(g, prog, m.comm).makespan(), seq)
+        )
+        print(f"  {k:4d} {fine_sp:13.1f}% {coarse_sp:12.1f}%")
+    print("(while messages are cheap the two coincide; once messages "
+          "dwarf the nodes, the clustered schedule — one value shipped "
+          "per chain instead of per op — holds up better, the "
+          "adjustment footnote 3 of the paper calls for)")
+
+
+if __name__ == "__main__":
+    optimality_study()
+    granularity_study()

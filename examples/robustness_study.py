@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""The paper's Section 4 experiment, interactively: random loops under
+unpredictable communication.
+
+Schedules each random Cyclic subgraph with the estimate k = 3, then
+executes it while every message actually costs k + mm - 1 cycles, for
+mm in {1, 3, 5} — the paper's worst-case protocol — and finally sweeps
+the true cost up to ~7x the node execution time (the conclusion's
+robustness claim).
+
+Run:  python examples/robustness_study.py [num_seeds]
+"""
+
+import sys
+
+from repro.experiments import run_comm_sweep, run_table1
+from repro.report import format_table1
+
+
+def main() -> None:
+    seeds = range(1, 1 + int(sys.argv[1])) if len(sys.argv) > 1 else None
+
+    print("Table 1 protocol: 40-node random loops, Cyclic subgraph "
+          "extracted, k=3 estimated, worst-case run-time cost k+mm-1\n")
+    table = run_table1(seeds, iterations=50)
+    print(format_table1(table))
+
+    print("\nRobustness sweep (schedule with k=3, run with true cost):")
+    for pt in run_comm_sweep(seeds):
+        bar = "#" * int(pt.sp_ours / 2)
+        print(f"  true k={pt.true_k:3d}  ours {pt.sp_ours:5.1f} "
+              f"doacross {pt.sp_doacross:5.1f}  {bar}")
+    print("\nPaper's conclusion: 'careful scheduling can be both robust "
+          "and profitable' — the factor over DOACROSS grows as "
+          "communication gets less predictable.")
+
+
+if __name__ == "__main__":
+    main()

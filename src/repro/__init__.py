@@ -1,0 +1,78 @@
+"""repro — reproduction of Kim & Nicolau (ICPP 1990),
+*Parallelizing Non-Vectorizable Loops for MIMD Machines*.
+
+Quickstart::
+
+    from repro import parse_loop, build_graph, Machine, schedule_loop
+
+    loop = parse_loop('''
+        FOR I = 1 TO N
+          A: A[I] = A[I-1] + E[I-1]
+          B: B[I] = A[I]
+          C: C[I] = B[I]
+          D: D[I] = D[I-1] + C[I-1]
+          E: E[I] = D[I]
+        ENDFOR
+    ''')
+    graph = build_graph(loop)
+    sched = schedule_loop(graph, Machine(processors=2))
+    print(sched.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro._types import Op
+from repro.core import (
+    Classification,
+    NormalizedSchedule,
+    Pattern,
+    Placement,
+    Schedule,
+    ScheduledLoop,
+    classify,
+    schedule_any_loop,
+    schedule_cyclic,
+    schedule_loop,
+)
+from repro.graph import DependenceGraph, normalize_distances, to_dot, unwind
+from repro.lang import build_graph, if_convert, parse_loop, run_loop
+from repro.machine import FluctuatingComm, Machine, UniformComm, ZeroComm
+from repro.metrics import percentage_parallelism, sequential_time, speedup
+from repro.sim import critical_chain, evaluate, simulate, trace_stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Classification",
+    "DependenceGraph",
+    "FluctuatingComm",
+    "Machine",
+    "NormalizedSchedule",
+    "Op",
+    "Pattern",
+    "Placement",
+    "Schedule",
+    "ScheduledLoop",
+    "UniformComm",
+    "ZeroComm",
+    "__version__",
+    "build_graph",
+    "classify",
+    "evaluate",
+    "if_convert",
+    "normalize_distances",
+    "parse_loop",
+    "percentage_parallelism",
+    "run_loop",
+    "critical_chain",
+    "schedule_any_loop",
+    "schedule_cyclic",
+    "schedule_loop",
+    "sequential_time",
+    "simulate",
+    "speedup",
+    "to_dot",
+    "trace_stats",
+    "unwind",
+]

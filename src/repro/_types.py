@@ -1,0 +1,37 @@
+"""Shared elementary types.
+
+The whole library talks about *operation instances*: a (node, iteration)
+pair naming one dynamic execution of a loop-body statement.  They are
+deliberately tiny immutable values so they can key dictionaries in the
+scheduler's hot loops.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Op(NamedTuple):
+    """One dynamic instance of a loop-body node.
+
+    Attributes
+    ----------
+    node:
+        Name of the static node in the dependence graph.
+    iteration:
+        Zero-based iteration index of the original loop.
+    """
+
+    node: str
+    iteration: int
+
+    def shifted(self, delta: int) -> "Op":
+        """Return the same node ``delta`` iterations later."""
+        return Op(self.node, self.iteration + delta)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.node}[{self.iteration}]"
+
+
+ProcId = int
+Cycle = int

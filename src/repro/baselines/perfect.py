@@ -1,0 +1,43 @@
+"""Perfect Pipelining baseline (Aiken & Nicolau 1988).
+
+Perfect Pipelining is the zero-communication ancestor of the paper's
+technique: schedule every operation as early as data dependences allow
+and exploit the repeating pattern that emerges.  In this library it is
+exactly the paper's scheduler run on a machine whose communication is
+free (:meth:`repro.machine.Machine.vliw_like`): with ``k = 0`` the
+configuration window degenerates to a single schedule line and
+Cyclic-sched computes the idealized pattern of [AiNi88a].
+
+Its steady rate is a useful optimality reference: no MIMD schedule can
+beat the Perfect Pipelining rate, which itself cannot beat the
+recurrence bound
+(:func:`repro.graph.algorithms.critical_recurrence_ratio`).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import CombinedLoop, ScheduledLoop, schedule_loop
+from repro.graph.ddg import DependenceGraph
+from repro.machine.model import Machine
+
+__all__ = ["schedule_perfect"]
+
+
+def schedule_perfect(
+    graph: DependenceGraph,
+    processors: int = 8,
+    *,
+    ordering: str = "asap",
+    tie_break: str = "idle",
+    folding: str = "auto",
+    max_instances: int | None = None,
+) -> ScheduledLoop | CombinedLoop:
+    """Schedule ``graph`` under the zero-communication idealization."""
+    return schedule_loop(
+        graph,
+        Machine.vliw_like(processors),
+        ordering=ordering,
+        tie_break=tie_break,
+        folding=folding,
+        max_instances=max_instances,
+    )

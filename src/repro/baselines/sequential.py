@@ -1,0 +1,29 @@
+"""Sequential baseline: one processor, body in topological order.
+
+Used as the ``s`` in the percentage-parallelism metric and as the
+fallback DOACROSS degenerates to when iteration pipelining cannot beat
+serial execution (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro._types import Op
+from repro.graph.algorithms import topological_order
+from repro.graph.ddg import DependenceGraph
+
+__all__ = ["sequential_program"]
+
+
+def sequential_program(
+    graph: DependenceGraph,
+    iterations: int,
+    body_order: list[str] | None = None,
+) -> list[list[Op]]:
+    """A one-processor program executing the loop in source order.
+
+    ``body_order`` overrides the statement order (must be a legal
+    topological order of the distance-0 subgraph; the default is the
+    canonical one).
+    """
+    order = body_order or topological_order(graph, intra_only=True)
+    return [[Op(n, i) for i in range(iterations) for n in order]]

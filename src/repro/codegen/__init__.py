@@ -1,0 +1,27 @@
+"""Partitioned-code generation: programs, emitters, and the dataflow
+interpreter that proves parallel execution computes sequential values."""
+
+from repro.codegen.emit import emit_program, emit_subloops
+from repro.codegen.interp import (
+    ParallelRun,
+    reference_graph_values,
+    run_parallel_graph,
+    run_parallel_loop,
+    verify_against_sequential,
+    verify_graph_dataflow,
+)
+from repro.codegen.partition import ParallelProgram, Transfer, partition
+
+__all__ = [
+    "ParallelProgram",
+    "ParallelRun",
+    "Transfer",
+    "emit_program",
+    "emit_subloops",
+    "partition",
+    "reference_graph_values",
+    "run_parallel_graph",
+    "run_parallel_loop",
+    "verify_against_sequential",
+    "verify_graph_dataflow",
+]

@@ -1,0 +1,231 @@
+"""Pseudo-code emission of partitioned loops (paper Fig. 7(e), Fig. 10).
+
+Two emitters:
+
+* :func:`emit_program` — the fully unrolled per-processor program with
+  explicit SEND/RECEIVE lines; exact for any program (folding, DOALL,
+  DOACROSS included) but linear in the iteration count.
+* :func:`emit_subloops` — the paper's presentation: a ``PARBEGIN`` /
+  ``PAREND`` block where each Cyclic processor runs its pattern kernel
+  as a ``FOR .. STEP d`` loop (prologue ops first), and each
+  Flow-in/Flow-out processor runs its ``FOR i = r TO N STEP p`` mod-p
+  subloop, as in Fig. 10.  Requires a patterned, non-folded
+  :class:`~repro.core.scheduler.ScheduledLoop`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro._types import Op
+from repro.codegen.partition import ParallelProgram
+from repro.core.flowio import subset_order
+from repro.core.scheduler import ScheduledLoop
+from repro.errors import CodegenError
+from repro.lang.ast import Assign, Loop
+
+__all__ = ["emit_program", "emit_subloops"]
+
+_SUBSCRIPT_RE = re.compile(r"\[I(?:\s*([+-])\s*(\d+))?\]")
+
+
+def _rhs_text(node: str, assigns: dict[str, Assign] | None) -> str:
+    """The statement's right-hand side with symbolic subscripts kept."""
+    if assigns and node in assigns:
+        return str(assigns[node].expr)
+    return f"f_{node}(...)"
+
+
+def _subst_index(text: str, index: str) -> str:
+    """Rewrite every ``[I±c]`` subscript relative to ``index``."""
+
+    def repl(m: "re.Match[str]") -> str:
+        sign, num = m.group(1), m.group(2)
+        if not sign:
+            return f"[{index}]"
+        return f"[{index}{sign}{num}]"
+
+    return _SUBSCRIPT_RE.sub(repl, text)
+
+
+def _concrete_index(text: str, iteration: int) -> str:
+    """Rewrite every ``[I±c]`` subscript to an absolute index."""
+
+    def repl(m: "re.Match[str]") -> str:
+        sign, num = m.group(1), m.group(2)
+        off = 0
+        if sign:
+            off = int(num) if sign == "+" else -int(num)
+        return f"[{iteration + off}]"
+
+    return _SUBSCRIPT_RE.sub(repl, text)
+
+
+def _lhs(node: str, assigns: dict[str, Assign] | None) -> str:
+    if assigns and node in assigns:
+        a = assigns[node]
+        return a.target if a.is_scalar else f"{a.target}[I]"
+    return f"{node}[I]"
+
+
+def emit_program(program: ParallelProgram, loop: Loop | None = None) -> str:
+    """Unrolled per-processor code with SEND/RECEIVE annotations."""
+    assigns = (
+        {a.label: a for a in loop.assignments()} if loop is not None else None
+    )
+    chunks: list[str] = ["PARBEGIN"]
+    for j, row in enumerate(program.order):
+        chunks.append(f"PE{j}:")
+        for op in row:
+            for t in program.receives_of(op):
+                chunks.append(f"    (RECEIVE {t.src} FROM PE{t.src_proc})")
+            stmt = _concrete_index(
+                _lhs(op.node, assigns) + " = " + _rhs_text(op.node, assigns),
+                op.iteration,
+            )
+            chunks.append(f"    {op}: {stmt}")
+            for t in program.sends_of(op):
+                chunks.append(f"    (SEND {op} TO PE{t.dst_proc})")
+    chunks.append("PAREND")
+    return "\n".join(chunks)
+
+
+def emit_subloops(scheduled: ScheduledLoop, loop: Loop | None = None) -> str:
+    """Fig. 10-style symbolic subloops from the pattern structure.
+
+    Cyclic processor ``j`` executes, after a prologue of concrete
+    early instances, a steady loop ``FOR Ij = base TO N STEP d`` whose
+    body lists its kernel ops at symbolic indices; SEND/RECEIVE
+    partners come from the dependence graph and the steady-state
+    residue assignment.  Flow-in/Flow-out processors get the mod-p
+    subloops of Fig. 5 / Fig. 10.
+    """
+    if scheduled.pattern is None:
+        raise CodegenError("DOALL loop: use emit_program instead")
+    plan = scheduled.plan
+    if plan is not None and plan.fold_into is not None:
+        raise CodegenError(
+            "folded schedules interleave non-cyclic ops data-dependently; "
+            "use emit_program for exact code"
+        )
+    graph = scheduled.graph
+    assigns = (
+        {a.label: a for a in loop.assignments()} if loop is not None else None
+    )
+    pattern = scheduled.pattern
+    used = pattern.used_processors()
+    compact = {orig: i for i, orig in enumerate(used)}
+    d = pattern.iter_shift
+    c = scheduled.classification
+    fi_base = len(used)
+    fo_base = fi_base + (plan.flow_in_procs if plan else 0)
+
+    # steady-state location of (node, iteration): cyclic nodes by the
+    # kernel's residue assignment, non-cyclic by the mod-p rule.
+    residue_proc: dict[tuple[str, int], int] = {}
+    for p in pattern.kernel:
+        residue_proc[(p.op.node, p.op.iteration % d)] = compact[p.proc]
+
+    def where(node: str, iteration: int) -> str:
+        key = (node, iteration % d)
+        if key in residue_proc:
+            return f"PE{residue_proc[key]}"
+        if plan and node in c.flow_in and plan.flow_in_procs:
+            return f"PE{fi_base + iteration % plan.flow_in_procs}"
+        if plan and node in c.flow_out and plan.flow_out_procs:
+            return f"PE{fo_base + iteration % plan.flow_out_procs}"
+        return "PE?"
+
+    def index_expr(var: str, base: int, iteration: int) -> str:
+        delta = iteration - base
+        if delta == 0:
+            return var
+        return f"{var}{'+' if delta > 0 else '-'}{abs(delta)}"
+
+    out = ["PARBEGIN"]
+    for j, orig in enumerate(used):
+        out.append(f"PE{j}:")
+        for p in sorted(pattern.prelude):
+            if compact[p.proc] != j:
+                continue
+            stmt = _concrete_index(
+                _lhs(p.op.node, assigns)
+                + " = "
+                + _rhs_text(p.op.node, assigns),
+                p.op.iteration,
+            )
+            out.append(f"    {stmt}")
+        kernel = sorted(p for p in pattern.kernel if compact[p.proc] == j)
+        if not kernel:
+            continue
+        base = min(p.op.iteration for p in kernel)
+        var = f"I{j}"
+        out.append(f"    FOR {var} = {base} TO N STEP {d}")
+        for p in kernel:
+            # derive the body from an instance one full period in, so
+            # boundary instances' dropped negative-iteration
+            # predecessors cannot hide a steady-state RECEIVE.
+            op = p.op.shifted(d)
+            steady_base = base + d
+            sym = index_expr(var, steady_base, op.iteration)
+            for pred, _e in graph.instance_predecessors(op):
+                src = where(pred.node, pred.iteration)
+                if src != f"PE{j}":
+                    psym = index_expr(var, steady_base, pred.iteration)
+                    out.append(
+                        f"      (RECEIVE {pred.node}[{psym}] FROM {src})"
+                    )
+            stmt = _subst_index(
+                _lhs(op.node, assigns) + " = " + _rhs_text(op.node, assigns),
+                sym,
+            )
+            out.append(f"      {stmt}")
+            sent: set[str] = set()
+            for succ, _e in graph.instance_successors(op):
+                dst = where(succ.node, succ.iteration)
+                if dst != f"PE{j}" and dst not in sent:
+                    sent.add(dst)
+                    out.append(f"      (SEND {op.node}[{sym}] TO {dst})")
+        out.append("    ENDFOR")
+
+    if plan:
+        for kind, names, nprocs, base_idx in (
+            ("flow-in", c.flow_in, plan.flow_in_procs, fi_base),
+            ("flow-out", c.flow_out, plan.flow_out_procs, fo_base),
+        ):
+            if not nprocs:
+                continue
+            order = subset_order(graph, names)
+            for r in range(nprocs):
+                j = base_idx + r
+                var = f"I{j}"
+                out.append(f"PE{j}:  # {kind}")
+                out.append(f"    FOR {var} = {r} TO N STEP {nprocs}")
+                for node in order:
+                    op0 = Op(node, r + nprocs)  # steady-state instance
+                    for pred, _e in graph.instance_predecessors(op0):
+                        src = where(pred.node, pred.iteration)
+                        if src != f"PE{j}":
+                            psym = index_expr(
+                                var, r + nprocs, pred.iteration
+                            )
+                            out.append(
+                                f"      (RECEIVE {pred.node}[{psym}] "
+                                f"FROM {src})"
+                            )
+                    stmt = _subst_index(
+                        _lhs(node, assigns) + " = " + _rhs_text(node, assigns),
+                        var,
+                    )
+                    out.append(f"      {stmt}")
+                    sent = set()
+                    for succ, _e in graph.instance_successors(op0):
+                        dst = where(succ.node, succ.iteration)
+                        if dst != f"PE{j}" and dst not in sent:
+                            sent.add(dst)
+                            out.append(
+                                f"      (SEND {node}[{var}] TO {dst})"
+                            )
+                out.append("    ENDFOR")
+    out.append("PAREND")
+    return "\n".join(out)

@@ -1,0 +1,99 @@
+"""Partitioned parallel programs.
+
+A :class:`ParallelProgram` is the concrete artifact the compiler hands
+to the machine: one op sequence per processor plus, derived from the
+dependence graph, the SEND/RECEIVE set of every op.  It is built from
+any scheduled loop (ours, DOACROSS, sequential) and is what the
+emitter prints and the interpreter executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro._types import Op
+from repro.core.scheduler import LoopScheduleLike
+from repro.errors import CodegenError
+from repro.graph.ddg import DependenceGraph
+
+__all__ = ["Transfer", "ParallelProgram", "partition"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One value transfer ``src (on src_proc) -> dst (on dst_proc)``."""
+
+    src: Op
+    dst: Op
+    src_proc: int
+    dst_proc: int
+
+
+@dataclass(frozen=True)
+class ParallelProgram:
+    """Per-processor op sequences plus derived communication sets."""
+
+    graph: DependenceGraph
+    order: tuple[tuple[Op, ...], ...]
+    iterations: int
+
+    def __post_init__(self) -> None:
+        seen: set[Op] = set()
+        for row in self.order:
+            for op in row:
+                if op in seen:
+                    raise CodegenError(f"{op} assigned to two processors")
+                seen.add(op)
+
+    @property
+    def processors(self) -> int:
+        return len(self.order)
+
+    def assignment(self) -> dict[Op, int]:
+        return {
+            op: j for j, row in enumerate(self.order) for op in row
+        }
+
+    def ops(self) -> list[Op]:
+        return [op for row in self.order for op in row]
+
+    def transfers(self) -> list[Transfer]:
+        """All cross-processor value transfers, in (dst, src) order."""
+        proc_of = self.assignment()
+        out: list[Transfer] = []
+        for op, j in proc_of.items():
+            for pred, _edge in self.graph.instance_predecessors(op):
+                pj = proc_of.get(pred)
+                if pj is not None and pj != j:
+                    out.append(Transfer(pred, op, pj, j))
+        out.sort(key=lambda t: (t.dst, t.src))
+        return out
+
+    def receives_of(self, op: Op) -> list[Transfer]:
+        proc_of = self.assignment()
+        j = proc_of[op]
+        return [
+            Transfer(pred, op, proc_of[pred], j)
+            for pred, _e in self.graph.instance_predecessors(op)
+            if pred in proc_of and proc_of[pred] != j
+        ]
+
+    def sends_of(self, op: Op) -> list[Transfer]:
+        proc_of = self.assignment()
+        j = proc_of[op]
+        return [
+            Transfer(op, succ, j, proc_of[succ])
+            for succ, _e in self.graph.instance_successors(op)
+            if succ in proc_of and proc_of[succ] != j
+        ]
+
+
+def partition(
+    scheduled: LoopScheduleLike, iterations: int
+) -> ParallelProgram:
+    """Materialize a scheduled loop into a parallel program."""
+    if iterations < 1:
+        raise CodegenError("iterations must be >= 1")
+    order = tuple(
+        tuple(row) for row in scheduled.program(iterations) if True
+    )
+    return ParallelProgram(scheduled.graph, order, iterations)

@@ -1,0 +1,41 @@
+"""The paper's contribution: classification, Cyclic-sched with pattern
+detection, Flow-in/Flow-out scheduling, and the full loop scheduler."""
+
+from repro.core.classify import Classification, classify
+from repro.core.cyclic import (
+    ORDERINGS,
+    CyclicResult,
+    CyclicStats,
+    schedule_cyclic,
+)
+from repro.core.flowio import NonCyclicPlan, kernel_idle, plan_noncyclic
+from repro.core.normalized import NormalizedSchedule, schedule_any_loop
+from repro.core.patterns import Pattern
+from repro.core.schedule import Placement, Schedule
+from repro.core.scheduler import (
+    CombinedLoop,
+    LoopScheduleLike,
+    ScheduledLoop,
+    schedule_loop,
+)
+
+__all__ = [
+    "Classification",
+    "classify",
+    "CombinedLoop",
+    "CyclicResult",
+    "CyclicStats",
+    "LoopScheduleLike",
+    "NonCyclicPlan",
+    "NormalizedSchedule",
+    "ORDERINGS",
+    "Pattern",
+    "Placement",
+    "Schedule",
+    "ScheduledLoop",
+    "kernel_idle",
+    "plan_noncyclic",
+    "schedule_any_loop",
+    "schedule_cyclic",
+    "schedule_loop",
+]

@@ -1,0 +1,137 @@
+"""Flow-in / Cyclic / Flow-out classification (paper Fig. 2).
+
+Definitions (Section 2.1):
+
+* a node is **Flow-in** if it has no predecessors, or all of its
+  predecessors are Flow-in;
+* a node is **Flow-out** if it is not Flow-in, and has no successors or
+  all of its successors are Flow-out;
+* a node is **Cyclic** otherwise.
+
+Predecessors/successors are taken over *all* dependence edges,
+loop-carried ones included — a node on a recurrence can never be
+Flow-in, because the recurrence gives it a predecessor that is not.
+The Cyclic subset is what bounds the loop's execution rate (given
+enough processors); Flow-in and Flow-out nodes only constrain the
+latest / earliest times they can run.
+
+Complexity is O(E): each edge is examined a constant number of times
+per phase (the paper's statement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ClassificationError
+from repro.graph.algorithms import nontrivial_sccs
+from repro.graph.ddg import DependenceGraph
+
+__all__ = ["Classification", "classify"]
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The three node subsets, each in canonical graph order."""
+
+    flow_in: tuple[str, ...]
+    cyclic: tuple[str, ...]
+    flow_out: tuple[str, ...]
+
+    @property
+    def is_doall(self) -> bool:
+        """No Cyclic nodes => iterations are independent (DOALL)."""
+        return not self.cyclic
+
+    def subset_of(self, name: str) -> str:
+        """Which subset ``name`` belongs to: 'flow_in'|'cyclic'|'flow_out'."""
+        if name in self.flow_in:
+            return "flow_in"
+        if name in self.cyclic:
+            return "cyclic"
+        if name in self.flow_out:
+            return "flow_out"
+        raise ClassificationError(f"unknown node {name!r}")
+
+
+def classify(graph: DependenceGraph) -> Classification:
+    """Run the paper's *classification* algorithm (Fig. 2).
+
+    Phase 1 grows Flow-in from the roots; phase 2 grows Flow-out from
+    the leaves among the remaining nodes; everything left is Cyclic.
+    The result is checked against the declarative definitions and
+    against Lemma 1 (a non-empty Cyclic subset contains at least one
+    strongly connected subgraph).
+    """
+    names = graph.node_names()
+    flow_in: set[str] = set()
+
+    # Phase 1 (steps 1-4): Flow-in fixpoint from the roots.
+    pending = [n for n in names if not graph.predecessors(n)]
+    for n in pending:
+        flow_in.add(n)
+    while pending:
+        buffer2: list[str] = []
+        for x in pending:
+            for e in graph.successors(x):
+                w = e.dst
+                if w in flow_in:
+                    continue
+                if all(p.src in flow_in for p in graph.predecessors(w)):
+                    flow_in.add(w)
+                    buffer2.append(w)
+        pending = buffer2
+
+    # Phase 2 (steps 5-8): Flow-out fixpoint from the leaves.
+    flow_out: set[str] = set()
+    pending = [
+        n
+        for n in names
+        if n not in flow_in and not graph.successors(n)
+    ]
+    for n in pending:
+        flow_out.add(n)
+    while pending:
+        buffer2 = []
+        for x in pending:
+            for e in graph.predecessors(x):
+                w = e.src
+                if w in flow_out or w in flow_in:
+                    continue
+                if all(s.dst in flow_out for s in graph.successors(w)):
+                    flow_out.add(w)
+                    buffer2.append(w)
+        pending = buffer2
+
+    cyclic = [n for n in names if n not in flow_in and n not in flow_out]
+    result = Classification(
+        tuple(n for n in names if n in flow_in),
+        tuple(cyclic),
+        tuple(n for n in names if n in flow_out),
+    )
+    _check(graph, result)
+    return result
+
+
+def _check(graph: DependenceGraph, c: Classification) -> None:
+    """Assert the declarative definitions and Lemma 1."""
+    fi, cy, fo = set(c.flow_in), set(c.cyclic), set(c.flow_out)
+    if fi & cy or fi & fo or cy & fo:
+        raise ClassificationError("subsets overlap")
+    if fi | cy | fo != set(graph.node_names()):
+        raise ClassificationError("subsets do not cover the graph")
+    for n in fi:
+        preds = graph.predecessors(n)
+        if preds and not all(p.src in fi for p in preds):
+            raise ClassificationError(f"{n!r} wrongly in Flow-in")
+    for n in fo:
+        succs = graph.successors(n)
+        if succs and not all(s.dst in fo for s in succs):
+            raise ClassificationError(f"{n!r} wrongly in Flow-out")
+    if cy:
+        sub = graph.subgraph(cy)
+        if not nontrivial_sccs(sub):
+            raise ClassificationError(
+                "Lemma 1 violated: non-empty Cyclic subset without a "
+                "strongly connected subgraph"
+            )

@@ -1,0 +1,431 @@
+"""Algorithm *Cyclic-sched* (paper Fig. 4) with pattern detection.
+
+The Cyclic subgraph is unrolled without bound, lazily: each operation
+instance ``(node, iteration)`` enters a ready queue once all its
+predecessor instances are scheduled, and is then assigned to the
+processor on which it can start earliest — ``T(v, Pj) =
+max(processor-free time, data-ready time including communication
+cost)`` — choosing the *first minimum* over processors, exactly as the
+paper specifies.  The ready queue is a priority queue under a
+*consistent* ordering (the paper requires any fixed tie-break); the
+default orders by zero-communication ASAP level, i.e. the idealized
+Perfect Pipelining order the paper starts from.
+
+Termination: after each placement the stable prefix of the schedule is
+scanned for two identical *configurations* (windows ``p`` wide and
+``k+1`` high, see :mod:`repro.core.patterns`).  A hash collision
+proposes a candidate period; the candidate is accepted only after the
+entire segment between the two windows is verified to repeat, shifted
+by the candidate iteration distance, over one full extra period — a
+constructive check that does not rely on Lemma 6.  The accepted
+segment becomes the :class:`~repro.core.patterns.Pattern`.
+
+Placement is append-only per processor (a new op never starts before
+previously placed ops on the same processor finish), which makes the
+"stable prefix" sound: a cycle is final once every processor's next
+possible placement lies beyond it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable
+
+from repro._types import Op
+from repro.core.patterns import Pattern, configuration_key
+from repro.core.schedule import Placement
+from repro.errors import PatternNotFoundError, SchedulingError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.model import Machine
+
+__all__ = ["CyclicStats", "CyclicResult", "schedule_cyclic", "ORDERINGS"]
+
+#: Available ready-queue orderings (the paper's "consistent order").
+ORDERINGS = ("asap", "iteration", "index")
+
+
+@dataclass
+class CyclicStats:
+    """Diagnostics from one Cyclic-sched run."""
+
+    instances_scheduled: int = 0
+    windows_hashed: int = 0
+    candidates_tried: int = 0
+    detection_cycle: int = 0
+    unrollings: int = 0  # paper's M: iterations unrolled before detection
+
+
+@dataclass(frozen=True)
+class CyclicResult:
+    """A detected pattern plus run diagnostics."""
+
+    pattern: Pattern
+    stats: CyclicStats
+
+
+def _make_key(
+    ordering: str, graph: DependenceGraph
+) -> Callable[[Op, int], tuple]:
+    index = graph.node_index
+    if ordering == "asap":
+        return lambda op, asap: (asap, op.iteration, index(op.node))
+    if ordering == "iteration":
+        return lambda op, asap: (op.iteration, index(op.node))
+    if ordering == "index":
+        return lambda op, asap: (index(op.node), op.iteration)
+    raise SchedulingError(
+        f"unknown ordering {ordering!r}; choose from {ORDERINGS}"
+    )
+
+
+def schedule_cyclic(
+    graph: DependenceGraph,
+    machine: Machine,
+    *,
+    ordering: str = "asap",
+    tie_break: str = "idle",
+    max_instances: int | None = None,
+    max_iteration_lead: int = 8,
+) -> CyclicResult:
+    """Schedule a Cyclic subgraph; return its repeating pattern.
+
+    ``graph`` must contain only Cyclic nodes (every node has at least
+    one predecessor and one successor within the graph) with all
+    dependence distances <= 1.  Raises
+    :class:`~repro.errors.PatternNotFoundError` if no pattern is
+    detected within ``max_instances`` scheduled instances.
+
+    ``tie_break`` resolves equal earliest-start times ``T(v, Pj)``:
+
+    * ``'idle'`` (default) — among minimal-T processors prefer the one
+      with the earliest free time, i.e. keep busy processors free for
+      work that genuinely needs them.  Under our explicit timing model
+      (result visible remotely at ``finish + comm``) the paper's plain
+      "first minimum" makes fully serial execution a self-reinforcing
+      fixed point on chain-shaped recurrences — each op ties with the
+      processor that just produced its operand and never spreads; the
+      paper's own coarser accounting charges roughly one cycle less for
+      communication, which breaks exactly those ties in favour of
+      spreading.  ``'idle'`` restores that behaviour without touching
+      the timing model (see the ablation benchmark).
+    * ``'first'`` — the paper's literal rule: lowest processor index.
+
+    ``max_iteration_lead`` bounds how many iterations ahead of the
+    slowest unfinished iteration an instance may be scheduled.  The
+    bound is required for termination when the Cyclic subset contains
+    *several* strongly connected components with different recurrence
+    rates: a fast source SCC would otherwise race unboundedly ahead of
+    its slower consumers and the iteration distance inside any window
+    would grow forever, so no two configurations could ever be
+    identical.  (The paper's Lemma 3 implicitly assumes the
+    single-rate case — its proof appeals to a long path between any
+    two iterations, which only exists inside one SCC.)  Throttling the
+    fast SCC costs nothing: its earliness was pure slack.  Instances
+    beyond the lead are parked and released when the window advances.
+    """
+    _check_input(graph)
+    if tie_break not in ("idle", "first"):
+        raise SchedulingError(
+            f"unknown tie_break {tie_break!r}; choose 'idle' or 'first'"
+        )
+    prefer_idle = tie_break == "idle"
+    comm = machine.comm
+    procs = machine.processors
+    latency = {n: graph.latency(n) for n in graph.node_names()}
+    if max_instances is None:
+        # generous default: multi-SCC subsets can take hundreds of
+        # iterations to phase-lock before the pattern stabilizes.
+        max_instances = 4000 * len(graph) + 20_000
+
+    # configuration window height = k + 1, with k the largest
+    # compile-time communication cost actually reachable on this graph.
+    k = max((comm.compile_cost(e) for e in graph.edges), default=0)
+    height = k + 1
+
+    key_of = _make_key(ordering, graph)
+
+    placed: dict[Op, Placement] = {}
+    asap: dict[Op, int] = {}
+    data_ready: dict[Op, int] = {}
+    pred_count: dict[Op, int] = {}
+    proc_end = [0] * procs
+    grid: dict[tuple[int, int], tuple[str, int, int]] = {}
+    ready: list[tuple[tuple, Op]] = []
+    stats = CyclicStats()
+
+    # Bounded iteration lead with pacing (see docstring).  Two rules
+    # work together so that configurations can repeat at all:
+    #   1. *parking* — an instance more than `max_iteration_lead`
+    #      iterations ahead of the slowest unfinished iteration waits
+    #      until that iteration completes (bounds iteration skew);
+    #   2. *pacing* — every instance of iteration i starts no earlier
+    #      than the completion time of iteration i - lead (bounds TIME
+    #      skew: without it a fast SCC packs its ops on its own faster
+    #      clock — even at the same iteration as its slow consumers —
+    #      and the time gap inside any window grows forever).
+    # The parking gate guarantees iteration i - lead is complete when
+    # an instance of iteration i is scheduled, so the pacing floor is
+    # always a finalized number.  Both only delay ops whose earliness
+    # was pure slack.
+    n_nodes = len(graph)
+    iter_remaining: dict[int, int] = {}
+    iter_end: dict[int, int] = {}
+    parked: dict[int, list[Op]] = {}
+    min_unfinished = 0
+
+    def push(op: Op) -> None:
+        a = 0
+        dr = 0
+        for pred, edge in graph.instance_predecessors(op):
+            a = max(a, asap[pred] + latency[pred.node])
+            dr = max(dr, placed[pred].end)
+        asap[op] = a
+        data_ready[op] = dr
+        if op.iteration < min_unfinished + max_iteration_lead:
+            heapq.heappush(ready, (key_of(op, a), op))
+        else:
+            parked.setdefault(op.iteration, []).append(op)
+
+    for name in graph.node_names():
+        if all(e.distance >= 1 for e in graph.predecessors(name)):
+            push(Op(name, 0))
+    if not ready:
+        raise SchedulingError(
+            f"graph {graph.name!r}: no initially ready instance — the "
+            "distance-0 subgraph has no root (is it really a loop body?)"
+        )
+
+    occurrences: dict[tuple, list[tuple[int, int]]] = {}
+    rejected: set[tuple[int, int, int]] = set()
+    next_top = 0
+
+    while True:
+        if not ready:  # pragma: no cover - unreachable for Cyclic graphs
+            raise SchedulingError("ready queue drained before a pattern")
+        _, op = heapq.heappop(ready)
+        del data_ready[op]
+
+        # --- processor selection: first minimum of T(v, Pj) ----------
+        best_j = 0
+        best_t = None
+        floor = iter_end.get(op.iteration - max_iteration_lead, 0)
+        for j in range(procs):
+            t = max(proc_end[j], floor)
+            for pred, edge in graph.instance_predecessors(op):
+                pp = placed[pred]
+                avail = pp.end + (0 if pp.proc == j else comm.compile_cost(edge))
+                if avail > t:
+                    t = avail
+            if (
+                best_t is None
+                or t < best_t
+                or (prefer_idle and t == best_t and proc_end[j] < proc_end[best_j])
+            ):
+                best_t, best_j = t, j
+        lat = latency[op.node]
+        placed[op] = Placement(best_t, best_j, op, lat)
+        proc_end[best_j] = best_t + lat
+        for q in range(lat):
+            grid[(best_j, best_t + q)] = (op.node, op.iteration, q)
+        stats.instances_scheduled += 1
+        stats.unrollings = max(stats.unrollings, op.iteration + 1)
+
+        # --- advance the iteration-lead window ------------------------
+        left = iter_remaining.get(op.iteration, n_nodes) - 1
+        iter_remaining[op.iteration] = left
+        if best_t + lat > iter_end.get(op.iteration, 0):
+            iter_end[op.iteration] = best_t + lat
+        if left == 0 and op.iteration == min_unfinished:
+            while iter_remaining.get(min_unfinished) == 0:
+                iter_remaining.pop(min_unfinished)
+                floor_time = iter_end.get(min_unfinished, 0)
+                iter_end.pop(min_unfinished - max_iteration_lead - 1, None)
+                min_unfinished += 1
+                release = min_unfinished + max_iteration_lead - 1
+                for parked_op in parked.pop(release, ()):
+                    if data_ready[parked_op] < floor_time:
+                        data_ready[parked_op] = floor_time
+                    heapq.heappush(
+                        ready, (key_of(parked_op, asap[parked_op]), parked_op)
+                    )
+
+        # --- release successors --------------------------------------
+        for succ, _edge in graph.instance_successors(op):
+            if succ in placed:
+                continue
+            if succ in pred_count:
+                pred_count[succ] -= 1
+                if pred_count[succ] == 0:
+                    del pred_count[succ]
+                    push(succ)
+            else:
+                cnt = sum(
+                    1
+                    for pr, _ in graph.instance_predecessors(succ)
+                    if pr not in placed
+                )
+                if cnt == 0:
+                    push(succ)
+                else:
+                    pred_count[succ] = cnt
+
+        # --- pattern detection over the stable prefix ----------------
+        while True:
+            found = _detect(
+                grid,
+                placed,
+                procs,
+                proc_end,
+                height,
+                occurrences,
+                rejected,
+                next_top,
+                _frontier(proc_end, data_ready),
+                stats,
+            )
+            if not isinstance(found, Pattern):
+                next_top = found
+                break
+            try:
+                # a window pair can match spuriously when some op's
+                # starts skip both windows (e.g. a long-latency node
+                # placed out of time order); the tiling check exposes
+                # that, and the candidate is rejected rather than
+                # accepted or fatal.
+                found.check_coverage()
+            except SchedulingError:
+                rejected.add((found.start, found.period, found.iter_shift))
+                continue
+            return CyclicResult(found, stats)
+
+        if stats.instances_scheduled > max_instances:
+            raise PatternNotFoundError(
+                f"no pattern within {max_instances} instances of "
+                f"{graph.name!r} (ordering={ordering!r}, p={procs}, "
+                f"k={k}); raise max_instances or check the graph"
+            )
+
+
+def _check_input(graph: DependenceGraph) -> None:
+    graph.validate()
+    if graph.max_distance() > 1:
+        raise SchedulingError(
+            f"graph {graph.name!r} has dependence distance "
+            f"{graph.max_distance()} > 1; normalize with "
+            "repro.graph.unwind.normalize_distances first"
+        )
+    for n in graph.node_names():
+        if not graph.predecessors(n) or not graph.successors(n):
+            raise SchedulingError(
+                f"node {n!r} has no predecessor or no successor: not a "
+                "Cyclic subgraph (classify and extract the Cyclic subset "
+                "first)"
+            )
+
+
+def _frontier(proc_end: list[int], data_ready: dict[Op, int]) -> int:
+    """First cycle that future placements could still touch.
+
+    On processor ``j`` nothing can start before ``proc_end[j]``
+    (append-only), and nothing anywhere can start before the minimum
+    data-ready time over the ready queue (every unreleased instance
+    transitively waits on some ready instance).
+    """
+    dr_min = min(data_ready.values(), default=0)
+    return min(max(pe, dr_min) for pe in proc_end)
+
+
+def _detect(
+    grid: dict[tuple[int, int], tuple[str, int, int]],
+    placed: dict[Op, Placement],
+    procs: int,
+    proc_end: list[int],
+    height: int,
+    occurrences: dict[tuple, list[tuple[int, int]]],
+    rejected: set[tuple[int, int, int]],
+    next_top: int,
+    frontier: int,
+    stats: CyclicStats,
+) -> Pattern | int:
+    """Scan newly stable windows; return a Pattern or the new next_top.
+
+    ``rejected`` holds (start, period, shift) triples whose coverage
+    check failed; they are skipped so the scan can move on.
+    """
+    proc_range = range(procs)
+    t = next_top
+    while t + height <= frontier:
+        keyed = configuration_key(grid, proc_range, t, height)
+        if keyed is None:
+            t += 1
+            continue
+        base, key = keyed
+        stats.windows_hashed += 1
+        prior = occurrences.get(key)
+        if prior:
+            for t0, base0 in prior:
+                period = t - t0
+                shift = base - base0
+                if shift < 1 or period < 1:
+                    continue
+                if (t0, period, shift) in rejected:
+                    continue
+                if t0 + 2 * period > frontier:
+                    # cannot verify a full extra period yet; retry when
+                    # the frontier has advanced (do not index t yet).
+                    return t
+                stats.candidates_tried += 1
+                if _segment_repeats(grid, proc_range, t0, period, shift, frontier):
+                    stats.detection_cycle = t0
+                    return _build_pattern(placed, procs, t0, period, shift)
+        occ = occurrences.setdefault(key, [])
+        if (t, base) not in occ:  # re-scans after a rejected candidate
+            occ.append((t, base))
+            if len(occ) > 8:
+                occ.pop(0)
+        t += 1
+    return t
+
+
+def _segment_repeats(
+    grid: dict[tuple[int, int], tuple[str, int, int]],
+    procs: range,
+    t0: int,
+    period: int,
+    shift: int,
+    frontier: int,
+) -> bool:
+    """Does [t0, t0+period) equal [t0+period, t0+2*period) shifted?"""
+    if t0 + 2 * period > frontier:
+        return False
+    for j in procs:
+        for c in range(t0, t0 + period):
+            a = grid.get((j, c))
+            b = grid.get((j, c + period))
+            if a is None and b is None:
+                continue
+            if a is None or b is None:
+                return False
+            if (a[0], a[2]) != (b[0], b[2]) or b[1] - a[1] != shift:
+                return False
+    return True
+
+
+def _build_pattern(
+    placed: dict[Op, Placement], procs: int, t0: int, period: int, shift: int
+) -> Pattern:
+    prelude = tuple(
+        sorted(p for p in placed.values() if p.start < t0)
+    )
+    kernel = tuple(
+        sorted(p for p in placed.values() if t0 <= p.start < t0 + period)
+    )
+    return Pattern(
+        start=t0,
+        period=period,
+        iter_shift=shift,
+        prelude=prelude,
+        kernel=kernel,
+        processors=procs,
+    )

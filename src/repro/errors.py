@@ -1,0 +1,64 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Malformed dependence graph (unknown node, bad distance, ...)."""
+
+
+class ParseError(ReproError):
+    """The loop mini-language source could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class DependenceError(ReproError):
+    """Dependence analysis failed (non-affine subscript, etc.)."""
+
+
+class ClassificationError(ReproError):
+    """Flow-in/Cyclic/Flow-out classification failed an invariant."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a valid schedule."""
+
+
+class PatternNotFoundError(SchedulingError):
+    """Cyclic-sched exhausted its unrolling budget without a pattern.
+
+    The paper's Theorem 1 guarantees a pattern exists given enough
+    processors; hitting this error usually means the iteration budget
+    (``max_instances``) was set too low for the given graph, or the
+    processor count is so small that the greedy schedule degenerates.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulated multiprocessor reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No processor can make progress but the program is unfinished."""
+
+
+class CodegenError(ReproError):
+    """Partitioned-code generation failed."""
+
+
+class ValidationError(ReproError):
+    """A schedule or program violates a correctness invariant."""

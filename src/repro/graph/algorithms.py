@@ -1,0 +1,288 @@
+"""Graph algorithms on :class:`~repro.graph.ddg.DependenceGraph`.
+
+All algorithms are self-contained (no networkx at runtime — the test
+suite uses networkx as an independent oracle) and deterministic: where
+order matters, the graph's canonical node order breaks ties.
+
+Two views of the graph appear throughout:
+
+* the **static** graph, whose edges may be loop-carried (distance >= 1)
+  — cycles through loop-carried edges are what makes a loop
+  non-vectorizable;
+* the **intra-iteration** graph, keeping only distance-0 edges — it must
+  be acyclic for the loop body to be executable, and its topological
+  order is a legal sequential statement order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+
+__all__ = [
+    "topological_order",
+    "has_intra_iteration_cycle",
+    "connected_components",
+    "strongly_connected_components",
+    "nontrivial_sccs",
+    "is_doall",
+    "critical_recurrence_ratio",
+    "longest_intra_path",
+]
+
+
+def topological_order(
+    graph: DependenceGraph, *, intra_only: bool = True
+) -> list[str]:
+    """Kahn topological sort of the (intra-iteration) graph.
+
+    With ``intra_only=True`` (default) only distance-0 edges constrain
+    the order: the result is a legal sequential execution order of the
+    loop body.  With ``intra_only=False`` every edge constrains the
+    order, which only succeeds for graphs without any cycle (e.g.
+    already-unrolled finite DAGs).
+
+    Ties are broken by canonical node order, so the result is stable.
+    """
+    names = graph.node_names()
+    indeg = {n: 0 for n in names}
+    for e in graph.edges:
+        if intra_only and e.distance != 0:
+            continue
+        if e.src == e.dst:
+            raise GraphError(f"self-cycle on {e.src!r} blocks topological sort")
+        indeg[e.dst] += 1
+
+    ready = sorted(
+        (n for n in names if indeg[n] == 0), key=graph.node_index
+    )
+    order: list[str] = []
+    while ready:
+        n = ready.pop(0)
+        order.append(n)
+        released: list[str] = []
+        for e in graph.successors(n):
+            if intra_only and e.distance != 0:
+                continue
+            indeg[e.dst] -= 1
+            if indeg[e.dst] == 0:
+                released.append(e.dst)
+        if released:
+            ready.extend(released)
+            ready.sort(key=graph.node_index)
+    if len(order) != len(names):
+        raise GraphError(
+            f"graph {graph.name!r} has a cycle; topological sort impossible"
+        )
+    return order
+
+
+def has_intra_iteration_cycle(graph: DependenceGraph) -> bool:
+    """True iff the distance-0 subgraph contains a cycle."""
+    try:
+        _toposort_quick(graph)
+        return False
+    except GraphError:
+        return True
+
+
+def _toposort_quick(graph: DependenceGraph) -> None:
+    """Cheap cycle check over distance-0 edges (no ordering guarantees)."""
+    indeg = {n: 0 for n in graph.node_names()}
+    for e in graph.edges:
+        if e.distance == 0:
+            if e.src == e.dst:
+                raise GraphError("self cycle")
+            indeg[e.dst] += 1
+    stack = [n for n, d in indeg.items() if d == 0]
+    seen = 0
+    while stack:
+        n = stack.pop()
+        seen += 1
+        for e in graph.successors(n):
+            if e.distance == 0:
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    stack.append(e.dst)
+    if seen != len(indeg):
+        raise GraphError("cycle")
+
+
+def connected_components(graph: DependenceGraph) -> list[list[str]]:
+    """Weakly connected components (edges taken as undirected).
+
+    The paper assumes a connected dependence graph and schedules each
+    component independently otherwise (Section 2.1).  Components are
+    returned in canonical order of their first node; nodes within a
+    component are in canonical order.
+    """
+    names = graph.node_names()
+    neigh: dict[str, set[str]] = {n: set() for n in names}
+    for e in graph.edges:
+        neigh[e.src].add(e.dst)
+        neigh[e.dst].add(e.src)
+    seen: set[str] = set()
+    comps: list[list[str]] = []
+    for start in names:
+        if start in seen:
+            continue
+        comp = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            n = stack.pop()
+            comp.append(n)
+            for m in neigh[n]:
+                if m not in seen:
+                    seen.add(m)
+                    stack.append(m)
+        comps.append(sorted(comp, key=graph.node_index))
+    return comps
+
+
+def strongly_connected_components(graph: DependenceGraph) -> list[list[str]]:
+    """Tarjan's SCC over *all* edges (loop-carried included).
+
+    An SCC containing a loop-carried cycle is a *recurrence*: it bounds
+    the loop's steady-state rate.  Returned in reverse topological
+    order of the condensation (Tarjan's natural output order), each
+    component sorted canonically.
+    """
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = 0
+
+    # Iterative Tarjan (explicit stack) to survive deep graphs.
+    for root in graph.node_names():
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, ei = work[-1]
+            if ei == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            edges = graph.successors(node)
+            advanced = False
+            while ei < len(edges):
+                succ = edges[ei].dst
+                ei += 1
+                if succ not in index_of:
+                    work[-1] = (node, ei)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                out.append(sorted(comp, key=graph.node_index))
+            if work:
+                parent, _ = work[-1]
+                low[parent] = min(low[parent], low[node])
+    return out
+
+
+def nontrivial_sccs(graph: DependenceGraph) -> list[list[str]]:
+    """SCCs that actually contain a cycle (size > 1, or a self edge)."""
+    result = []
+    for comp in strongly_connected_components(graph):
+        if len(comp) > 1:
+            result.append(comp)
+        else:
+            (n,) = comp
+            if any(e.dst == n for e in graph.successors(n)):
+                result.append(comp)
+    return result
+
+
+def is_doall(graph: DependenceGraph) -> bool:
+    """True iff the loop has no recurrence (iterations independent).
+
+    Equivalent to the paper's observation that a loop with an empty
+    Cyclic subset is a DOALL loop.
+    """
+    return not nontrivial_sccs(graph)
+
+
+def critical_recurrence_ratio(graph: DependenceGraph) -> float:
+    """The recurrence-theoretic lower bound on cycles per iteration.
+
+    ``max over cycles C of (sum of latencies along C) / (sum of
+    distances along C)`` — no schedule, on any number of processors
+    with zero communication cost, can complete iterations faster than
+    this.  Computed exactly by binary search on the parametric shortest
+    path criterion (Bellman-Ford feasibility on edge weights
+    ``latency(src) - r * distance``), which is robust for the small
+    graphs this library deals in.  Returns 0.0 for DOALL loops.
+    """
+    if is_doall(graph):
+        return 0.0
+
+    names = graph.node_names()
+
+    def has_positive_cycle(rate: float) -> bool:
+        # weight(e) = latency(src) - rate * distance; a positive-weight
+        # cycle exists iff some recurrence needs more than `rate`
+        # cycles/iteration.
+        dist = {n: 0.0 for n in names}
+        for sweep in range(len(names)):
+            changed = False
+            for e in graph.edges:
+                w = graph.latency(e.src) - rate * e.distance
+                if dist[e.src] + w > dist[e.dst] + 1e-12:
+                    dist[e.dst] = dist[e.src] + w
+                    changed = True
+            if not changed:
+                return False
+        # one more sweep: still relaxing => positive cycle
+        for e in graph.edges:
+            w = graph.latency(e.src) - rate * e.distance
+            if dist[e.src] + w > dist[e.dst] + 1e-12:
+                return True
+        return False
+
+    lo, hi = 0.0, float(graph.total_latency())
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if has_positive_cycle(mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def longest_intra_path(
+    graph: DependenceGraph, weight: Callable[[str], int] | None = None
+) -> int:
+    """Length of the longest path through distance-0 edges.
+
+    ``weight`` maps a node name to its cost (defaults to its latency).
+    This is the loop body's critical path: a lower bound on one
+    iteration's span given unlimited processors and free communication.
+    """
+    if weight is None:
+        weight = graph.latency
+    order = topological_order(graph, intra_only=True)
+    finish = {n: weight(n) for n in order}
+    for n in order:
+        for e in graph.successors(n):
+            if e.distance == 0:
+                finish[e.dst] = max(finish[e.dst], finish[n] + weight(e.dst))
+    return max(finish.values(), default=0)

@@ -1,0 +1,163 @@
+"""Granularity adjustment by linear-chain clustering.
+
+Paper footnote 3: "granularity should be chosen depending on machines,
+to make the execution time of a node within the same order of magnitude
+as communication cost."  When nodes are much cheaper than messages, a
+schedule that spreads a serial chain across processors drowns in
+communication; coarsening the graph first removes that temptation.
+
+:func:`coarsen_chains` merges *linear chains* — runs of nodes linked by
+distance-0 edges where each link's source has that link as its only
+distance-0 out-edge and the target has it as its only distance-0
+in-edge.  Such nodes are forcibly sequential anyway, so merging them
+onto one super-node loses no parallelism and saves every message along
+the chain.  All other edges are re-attached to the containing clusters
+(duplicates collapsed); distance-1 edges between members of one cluster
+become a self-recurrence of the cluster.
+
+The resulting :class:`Clustering` schedules like any graph; its
+:meth:`Clustering.expand_program` maps a coarse per-processor program
+back to original-node instances (members in chain order), which
+validates against the *original* graph because cluster-level timing is
+a conservative refinement of member-level timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro._types import Op
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+
+__all__ = ["Clustering", "coarsen_chains"]
+
+_JOIN = "+"
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """A coarsened graph plus the member mapping."""
+
+    original: DependenceGraph
+    coarse: DependenceGraph
+    members: Mapping[str, tuple[str, ...]]
+
+    @property
+    def ratio(self) -> float:
+        """Coarsening ratio: original nodes per coarse node."""
+        return len(self.original) / len(self.coarse)
+
+    def cluster_of(self, node: str) -> str:
+        """The coarse node containing an original node."""
+        for cname, members in self.members.items():
+            if node in members:
+                return cname
+        raise GraphError(f"unknown original node {node!r}")
+
+    def expand_program(
+        self, program: list[list[Op]]
+    ) -> list[list[Op]]:
+        """Coarse per-processor op sequences -> original-node sequences.
+
+        Each coarse instance expands to its members, in chain order,
+        at the same position of the same processor's sequence.
+        """
+        out: list[list[Op]] = []
+        for row in program:
+            expanded: list[Op] = []
+            for op in row:
+                try:
+                    members = self.members[op.node]
+                except KeyError:
+                    raise GraphError(
+                        f"{op.node!r} is not a cluster of this clustering"
+                    ) from None
+                expanded.extend(Op(m, op.iteration) for m in members)
+            out.append(expanded)
+        return out
+
+
+def coarsen_chains(
+    graph: DependenceGraph,
+    *,
+    max_latency: int | None = None,
+) -> Clustering:
+    """Merge linear distance-0 chains into super-nodes.
+
+    ``max_latency`` caps each cluster's total latency (the footnote's
+    "same order of magnitude as communication cost"); ``None`` merges
+    maximal chains.  Canonical node order is preserved: each cluster
+    takes the position of its first member.
+    """
+    if max_latency is not None and max_latency < 1:
+        raise GraphError("max_latency must be >= 1 (or None)")
+    graph.validate()
+    names = graph.node_names()
+
+    def d0_succs(n: str) -> list[str]:
+        return [e.dst for e in graph.successors(n) if e.distance == 0]
+
+    def d0_preds(n: str) -> list[str]:
+        return [e.src for e in graph.predecessors(n) if e.distance == 0]
+
+    # build maximal mergeable chains greedily in canonical order
+    head_of: dict[str, str] = {}
+    chains: dict[str, list[str]] = {}
+    for n in names:
+        if n in head_of:
+            continue
+        chain = [n]
+        head_of[n] = n
+        total = graph.latency(n)
+        cur = n
+        while True:
+            succs = d0_succs(cur)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if nxt in head_of or len(d0_preds(nxt)) != 1:
+                break
+            if (
+                max_latency is not None
+                and total + graph.latency(nxt) > max_latency
+            ):
+                break
+            chain.append(nxt)
+            head_of[nxt] = n
+            total += graph.latency(nxt)
+            cur = nxt
+        chains[n] = chain
+
+    cluster_name: dict[str, str] = {}
+    members: dict[str, tuple[str, ...]] = {}
+    coarse = DependenceGraph(f"{graph.name}.coarse")
+    for head in names:
+        if head not in chains:
+            continue
+        chain = chains[head]
+        cname = _JOIN.join(chain)
+        members[cname] = tuple(chain)
+        for m in chain:
+            cluster_name[m] = cname
+        coarse.add_node(
+            cname,
+            sum(graph.latency(m) for m in chain),
+            label=" ; ".join(
+                graph.node(m).label or m for m in chain
+            ),
+        )
+
+    seen: set[tuple[str, str, int]] = set()
+    for e in graph.edges:
+        src, dst = cluster_name[e.src], cluster_name[e.dst]
+        if src == dst and e.distance == 0:
+            continue  # internal chain link
+        key = (src, dst, e.distance)
+        if key in seen:
+            continue
+        seen.add(key)
+        coarse.add_edge(src, dst, e.distance, e.comm, e.kind)
+    coarse.validate()
+    return Clustering(graph, coarse, members)

@@ -1,0 +1,84 @@
+"""Loop unwinding to normalize dependence distances (MuSi87).
+
+The paper's scheduler assumes every dependence distance is 0 or 1
+(Section 2.1): "if the dependence distances are greater than one, we can
+reduce them down to one or zero by unwinding the loop properly".
+
+:func:`normalize_distances` implements that transformation.  Unwinding a
+loop ``u`` times maps the dynamic instance ``(v, i)`` of the original
+loop onto instance ``(v@r, q)`` of the unwound loop, where
+``i = q * u + r``.  An original edge with distance ``d`` becomes, for
+each residue ``r``, an edge ``src@r -> dst@((r + d) % u)`` with distance
+``(r + d) // u`` — which is 0 or 1 whenever ``u >= max(d, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._types import Op
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+
+__all__ = ["UnwoundLoop", "normalize_distances", "unwind"]
+
+_SEP = "@"
+
+
+@dataclass(frozen=True)
+class UnwoundLoop:
+    """Result of unwinding: the new graph plus the instance mapping."""
+
+    graph: DependenceGraph
+    factor: int
+
+    def to_unwound(self, op: Op) -> Op:
+        """Map an original-loop instance to the unwound loop."""
+        q, r = divmod(op.iteration, self.factor)
+        name = op.node if self.factor == 1 else f"{op.node}{_SEP}{r}"
+        return Op(name, q)
+
+    def to_original(self, op: Op) -> Op:
+        """Map an unwound-loop instance back to the original loop."""
+        if self.factor == 1:
+            return op
+        name, _, residue = op.node.rpartition(_SEP)
+        if not name:
+            raise GraphError(f"not an unwound node name: {op.node!r}")
+        return Op(name, op.iteration * self.factor + int(residue))
+
+
+def unwind(graph: DependenceGraph, factor: int) -> UnwoundLoop:
+    """Unwind ``graph`` by ``factor`` copies of the body.
+
+    Every resulting dependence distance is ``(r + d) // factor`` which
+    is <= 1 iff ``factor >= d`` for every original distance ``d``.
+    """
+    if factor < 1:
+        raise GraphError(f"unwind factor must be >= 1, got {factor}")
+    if factor == 1:
+        return UnwoundLoop(graph.copy(), 1)
+
+    out = DependenceGraph(f"{graph.name}.unwound{factor}")
+    for r in range(factor):
+        for name, node in graph.nodes.items():
+            out.add_node(f"{name}{_SEP}{r}", node.latency, node.label)
+    seen: set[tuple[str, str, int]] = set()
+    for e in graph.edges:
+        for r in range(factor):
+            src = f"{e.src}{_SEP}{r}"
+            dst = f"{e.dst}{_SEP}{(r + e.distance) % factor}"
+            dist = (r + e.distance) // factor
+            key = (src, dst, dist)
+            if key in seen:
+                # two original parallel edges can collapse onto the
+                # same unwound edge; keep one (dependences are a set).
+                continue
+            seen.add(key)
+            out.add_edge(src, dst, dist, e.comm, e.kind)
+    return UnwoundLoop(out, factor)
+
+
+def normalize_distances(graph: DependenceGraph) -> UnwoundLoop:
+    """Unwind just enough that all distances become 0 or 1."""
+    return unwind(graph, max(1, graph.max_distance()))

@@ -1,0 +1,62 @@
+"""Loop mini-language front end: parse -> if-convert -> dependence graph.
+
+Typical use::
+
+    from repro.lang import parse_loop, if_convert, build_graph
+
+    loop = parse_loop('''
+        FOR I = 1 TO N
+          A: A[I] = A[I-1] + E[I-1]
+          B: B[I] = A[I]
+          C: C[I] = B[I]
+          D: D[I] = D[I-1] + C[I-1]
+          E: E[I] = D[I]
+        ENDFOR
+    ''')
+    graph = build_graph(if_convert(loop))
+"""
+
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IfBlock,
+    Loop,
+    ScalarRef,
+    Select,
+    UnaryOp,
+    eval_expr,
+    walk_expr,
+)
+from repro.lang.dependence import Dependence, analyze_dependences, build_graph
+from repro.lang.ifconvert import if_convert
+from repro.lang.interp import Store, default_live_in, run_loop
+from repro.lang.parser import parse_expr, parse_loop
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Call",
+    "Const",
+    "Dependence",
+    "Expr",
+    "IfBlock",
+    "Loop",
+    "ScalarRef",
+    "Select",
+    "Store",
+    "UnaryOp",
+    "analyze_dependences",
+    "build_graph",
+    "default_live_in",
+    "eval_expr",
+    "if_convert",
+    "parse_expr",
+    "parse_loop",
+    "run_loop",
+    "walk_expr",
+]

@@ -1,0 +1,324 @@
+"""AST for the loop mini-language.
+
+The language models the paper's input: a singly-nested counted loop over
+an index variable, whose body is a sequence of (optionally labelled)
+assignments to array elements or scalars with affine subscripts
+``I + c``, plus structured IF/ELSE/ENDIF blocks that the front end
+removes by if-conversion before scheduling.
+
+Example source (paper Figure 7(a))::
+
+    FOR I = 1 TO N
+      A: A[I] = A[I-1] + E[I-1]
+      B: B[I] = A[I]
+      C: C[I] = B[I]
+      D: D[I] = D[I-1] + C[I-1]
+      E: E[I] = D[I]
+    ENDFOR
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Expr",
+    "Const",
+    "ScalarRef",
+    "ArrayRef",
+    "BinOp",
+    "UnaryOp",
+    "Call",
+    "Select",
+    "Assign",
+    "IfBlock",
+    "Loop",
+    "walk_expr",
+]
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expressions (immutable)."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def __str__(self) -> str:
+        v = self.value
+        return str(int(v)) if float(v).is_integer() else str(v)
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """A scalar variable read (loop-invariant parameter or loop scalar)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """An array element read ``array[I + offset]``."""
+
+    array: str
+    offset: int
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return f"{self.array}[I]"
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.array}[I{sign}{abs(self.offset)}]"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is one of + - * / and the comparisons."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary minus / logical not."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsic call: sqrt, abs, min, max, exp, log."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"{self.fn}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """If-conversion's select: ``cond ? if_true : if_false``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"select({self.cond}, {self.if_true}, {self.if_false})"
+
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all sub-expressions, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk_expr(child)
+
+
+_INTRINSICS: dict[str, Callable[..., float]] = {
+    "sqrt": lambda x: math.sqrt(abs(x)),
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "exp": lambda x: math.exp(min(x, 50.0)),
+    "log": lambda x: math.log(abs(x) + 1e-30),
+    "sign": lambda x: (x > 0) - (x < 0),
+}
+
+_BINOPS: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if b != 0 else 0.0,
+    "<": lambda a, b: float(a < b),
+    "<=": lambda a, b: float(a <= b),
+    ">": lambda a, b: float(a > b),
+    ">=": lambda a, b: float(a >= b),
+    "==": lambda a, b: float(a == b),
+    "!=": lambda a, b: float(a != b),
+}
+
+
+def eval_expr(
+    expr: Expr,
+    iteration: int,
+    array: Callable[[str, int], float],
+    scalar: Callable[[str], float],
+) -> float:
+    """Evaluate ``expr`` at a given iteration.
+
+    ``array(name, index)`` and ``scalar(name)`` supply the store; the
+    divide intrinsic is total (x/0 == 0) so random programs can't crash
+    the interpreters.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ScalarRef):
+        return scalar(expr.name)
+    if isinstance(expr, ArrayRef):
+        return array(expr.array, iteration + expr.offset)
+    if isinstance(expr, BinOp):
+        fn = _BINOPS.get(expr.op)
+        if fn is None:
+            raise ReproError(f"unknown operator {expr.op!r}")
+        return fn(
+            eval_expr(expr.left, iteration, array, scalar),
+            eval_expr(expr.right, iteration, array, scalar),
+        )
+    if isinstance(expr, UnaryOp):
+        v = eval_expr(expr.operand, iteration, array, scalar)
+        if expr.op == "-":
+            return -v
+        if expr.op == "!":
+            return float(not v)
+        raise ReproError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Call):
+        fn = _INTRINSICS.get(expr.fn)
+        if fn is None:
+            raise ReproError(f"unknown intrinsic {expr.fn!r}")
+        return float(fn(*(eval_expr(a, iteration, array, scalar) for a in expr.args)))
+    if isinstance(expr, Select):
+        c = eval_expr(expr.cond, iteration, array, scalar)
+        branch = expr.if_true if c else expr.if_false
+        return eval_expr(branch, iteration, array, scalar)
+    raise ReproError(f"cannot evaluate {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Assign:
+    """``label: target[I+offset] = expr`` (or scalar target).
+
+    ``target_offset`` is ``None`` for scalar targets.  ``latency`` is
+    the node's execution time for scheduling.  ``guard`` names the
+    predicate node the statement is control-dependent on after
+    if-conversion (``None`` = unconditional).
+    """
+
+    label: str
+    target: str
+    target_offset: int | None
+    expr: Expr
+    latency: int = 1
+    guard: str | None = None
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.target_offset is None
+
+    def source(self) -> str:
+        """Render back to mini-language text."""
+        if self.is_scalar:
+            lhs = self.target
+        else:
+            lhs = str(ArrayRef(self.target, self.target_offset))
+        lat = f"{{{self.latency}}}" if self.latency != 1 else ""
+        return f"{self.label}{lat}: {lhs} = {self.expr}"
+
+    def reads(self) -> list[Expr]:
+        """All ArrayRef / ScalarRef leaves read by this statement."""
+        return [
+            e
+            for e in walk_expr(self.expr)
+            if isinstance(e, (ArrayRef, ScalarRef))
+        ]
+
+
+@dataclass(frozen=True)
+class IfBlock:
+    """A structured conditional, removed by if-conversion."""
+
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+
+
+Stmt = Union[Assign, IfBlock]
+
+
+@dataclass
+class Loop:
+    """A counted loop: ``FOR var = 1 TO N`` around ``body``."""
+
+    name: str
+    var: str
+    body: list[Stmt] = field(default_factory=list)
+
+    def assignments(self) -> list[Assign]:
+        """Flat assignment list; raises if IfBlocks remain."""
+        out: list[Assign] = []
+        for stmt in self.body:
+            if isinstance(stmt, IfBlock):
+                raise ReproError(
+                    f"loop {self.name!r} still contains conditionals; "
+                    "run if_convert() first"
+                )
+            out.append(stmt)
+        return out
+
+    def has_conditionals(self) -> bool:
+        return any(isinstance(s, IfBlock) for s in self.body)
+
+    def labels(self) -> list[str]:
+        return [a.label for a in self.assignments()]
+
+    def source(self) -> str:
+        """Render the loop back to mini-language text."""
+        lines = [f"FOR {self.var} = 1 TO N"]
+        for stmt in self.body:
+            lines.extend(_render(stmt, 1))
+        lines.append("ENDFOR")
+        return "\n".join(lines)
+
+
+def _render(stmt: Stmt, depth: int) -> list[str]:
+    pad = "  " * depth
+    if isinstance(stmt, Assign):
+        return [pad + stmt.source()]
+    lines = [f"{pad}IF {stmt.cond} THEN"]
+    for s in stmt.then_body:
+        lines.extend(_render(s, depth + 1))
+    if stmt.else_body:
+        lines.append(f"{pad}ELSE")
+        for s in stmt.else_body:
+            lines.extend(_render(s, depth + 1))
+    lines.append(f"{pad}ENDIF")
+    return lines

@@ -1,0 +1,197 @@
+"""Data dependence analysis for the loop mini-language.
+
+Follows the standard definitions (Padua '79) the paper refers to.  For
+two statements *s* (writing ``X[I+a]``) and *t* (reading ``X[I+b]``):
+
+* **flow** dependence ``s -> t`` with distance ``d = a - b`` when
+  ``d > 0``, or ``d == 0`` and *s* textually precedes *t*;
+* **anti** dependence ``t -> s`` with distance ``b - a`` when
+  ``b > a``, or ``b == a`` and *t* textually precedes *s*;
+* **output** dependence between two writers of the same element,
+  distance = offset difference, oriented from the earlier write to the
+  later one.
+
+Scalar accesses behave like array accesses with offset 0, except that a
+scalar *read-before-any-write-this-iteration* sees the previous
+iteration's value, producing a distance-1 flow dependence.
+
+Zero-distance self-dependences cannot arise (a statement executes
+once per iteration), and zero-distance dependences always point
+forward in program order, so the intra-iteration graph is acyclic by
+construction.
+
+The scheduler only needs flow dependences (the dataflow execution
+model renames storage implicitly); anti/output edges are computed for
+completeness and can be included on request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import DependenceError
+from repro.graph.ddg import DependenceGraph
+from repro.lang.ast import ArrayRef, Assign, Loop, ScalarRef
+
+__all__ = ["Dependence", "analyze_dependences", "build_graph"]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence arc between statement labels."""
+
+    src: str
+    dst: str
+    distance: int
+    kind: str  # flow | anti | output
+    variable: str
+
+
+@dataclass(frozen=True)
+class _Access:
+    stmt_index: int
+    label: str
+    variable: str
+    offset: int  # scalars use offset 0
+    is_write: bool
+    is_scalar: bool
+
+
+def _accesses(assigns: list[Assign]) -> list[_Access]:
+    out: list[_Access] = []
+    for idx, a in enumerate(assigns):
+        for ref in a.reads():
+            if isinstance(ref, ArrayRef):
+                out.append(
+                    _Access(idx, a.label, ref.array, ref.offset, False, False)
+                )
+            elif isinstance(ref, ScalarRef):
+                out.append(_Access(idx, a.label, ref.name, 0, False, True))
+        if a.guard is not None:
+            # control dependence on the predicate node, materialized by
+            # if-conversion as a scalar read of the guard variable.
+            out.append(_Access(idx, a.label, a.guard, 0, False, True))
+        if a.is_scalar:
+            out.append(_Access(idx, a.label, a.target, 0, True, True))
+        else:
+            out.append(
+                _Access(idx, a.label, a.target, a.target_offset, True, False)
+            )
+    return out
+
+
+def analyze_dependences(
+    loop: Loop, *, max_distance: int | None = None
+) -> list[Dependence]:
+    """Compute all flow/anti/output dependences of ``loop``.
+
+    ``max_distance`` optionally bounds reported distances: a dependence
+    spanning more iterations than that is dropped (the caller may
+    instead choose to unwind the loop; see
+    :func:`repro.graph.unwind.normalize_distances`).  Scalar parameters
+    that are read but never written produce no dependences.
+    """
+    assigns = loop.assignments()
+    accesses = _accesses(assigns)
+    by_var: dict[str, list[_Access]] = {}
+    for acc in accesses:
+        by_var.setdefault(acc.variable, []).append(acc)
+
+    deps: set[Dependence] = set()
+    for var, accs in by_var.items():
+        writes = [a for a in accs if a.is_write]
+        reads = [a for a in accs if not a.is_write]
+        if not writes:
+            continue  # loop-invariant input
+        scalar = any(a.is_scalar for a in accs)
+        if scalar and any(not a.is_scalar for a in accs):
+            raise DependenceError(
+                f"{var!r} is used both as a scalar and as an array"
+            )
+        for w in writes:
+            for r in reads:
+                _flow_and_anti(deps, w, r, var)
+            for w2 in writes:
+                if w2 is w:
+                    continue
+                _output(deps, w, w2, var)
+
+    result = sorted(
+        deps, key=lambda d: (d.src, d.dst, d.distance, d.kind, d.variable)
+    )
+    if max_distance is not None:
+        result = [d for d in result if d.distance <= max_distance]
+    return result
+
+
+def _flow_and_anti(
+    deps: set[Dependence], w: _Access, r: _Access, var: str
+) -> None:
+    d = w.offset - r.offset
+    if d > 0 or (d == 0 and w.stmt_index < r.stmt_index):
+        deps.add(Dependence(w.label, r.label, d, "flow", var))
+    elif d == 0 and w.stmt_index == r.stmt_index:
+        # statement reads the element it writes (e.g. accumulation via
+        # X[I] on both sides): the read sees the previous iteration's
+        # value only for scalars; for arrays the element is written
+        # exactly once, so the read is of the live-in value -> no dep.
+        if w.is_scalar:
+            deps.add(Dependence(w.label, r.label, 1, "flow", var))
+    if w.is_scalar:
+        # scalar read before the (only) write in program order reads
+        # last iteration's value: flow distance 1 from the write.
+        if d == 0 and w.stmt_index > r.stmt_index:
+            deps.add(Dependence(w.label, r.label, 1, "flow", var))
+            deps.add(Dependence(r.label, w.label, 0, "anti", var))
+        return
+    # array anti dependence: the element read by r at iteration i is
+    # overwritten by w at iteration i + (r.offset - w.offset).
+    a = r.offset - w.offset
+    if a > 0 or (a == 0 and r.stmt_index < w.stmt_index):
+        if not (a == 0 and r.stmt_index == w.stmt_index):
+            deps.add(Dependence(r.label, w.label, a, "anti", var))
+
+
+def _output(deps: set[Dependence], w1: _Access, w2: _Access, var: str) -> None:
+    d = w1.offset - w2.offset
+    if d > 0 or (d == 0 and w1.stmt_index < w2.stmt_index):
+        deps.add(Dependence(w1.label, w2.label, d, "output", var))
+
+
+def build_graph(
+    loop: Loop,
+    *,
+    name: str | None = None,
+    include_anti: bool = False,
+    include_output: bool = False,
+    latencies: dict[str, int] | None = None,
+) -> DependenceGraph:
+    """Build the loop's :class:`DependenceGraph`.
+
+    One node per assignment (labelled by statement label, latency from
+    the statement unless overridden by ``latencies``); one edge per
+    distinct (src, dst, distance) dependence.  Flow dependences are
+    always included; anti/output on request.  Zero-distance self
+    dependences never occur (see module docstring).
+    """
+    assigns = loop.assignments()
+    graph = DependenceGraph(name or loop.name)
+    lat = latencies or {}
+    for a in assigns:
+        graph.add_node(a.label, lat.get(a.label, a.latency), a.source())
+
+    wanted = {"flow"}
+    if include_anti:
+        wanted.add("anti")
+    if include_output:
+        wanted.add("output")
+    seen: set[tuple[str, str, int]] = set()
+    for dep in analyze_dependences(loop):
+        if dep.kind not in wanted:
+            continue
+        key = (dep.src, dep.dst, dep.distance)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(dep.src, dep.dst, dep.distance, kind=dep.kind)
+    graph.validate()
+    return graph

@@ -1,0 +1,102 @@
+"""Sequential reference interpreter for the loop mini-language.
+
+Executes a loop exactly as written — statements in program order,
+iterations in order — over a simple store.  This is the semantic ground
+truth used to validate if-conversion, loop unwinding, and the generated
+parallel programs (:mod:`repro.codegen.interp`).
+
+Live-in values (array elements at negative / pre-loop indices, initial
+scalars) default to a deterministic pseudo-random function of the name
+and index, so two independent executions agree without any setup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.lang.ast import Assign, Loop, eval_expr
+
+__all__ = ["Store", "run_loop", "default_live_in"]
+
+
+def default_live_in(name: str, index: int | None = None) -> float:
+    """Deterministic live-in value for array element / scalar ``name``.
+
+    Values are small (in [1, 2)) so long product chains stay finite.
+    """
+    key = f"{name}#{index}".encode()
+    h = int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "big")
+    return 1.0 + (h % 10_000) / 10_000.0
+
+
+@dataclass
+class Store:
+    """A flat store of array elements and scalars.
+
+    ``arrays[(name, index)]`` and ``scalars[name]`` hold written values;
+    reads of unwritten locations fall back to ``live_in``.
+    """
+
+    arrays: dict[tuple[str, int], float] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    live_in: Callable[[str, int | None], float] = default_live_in
+
+    def read_array(self, name: str, index: int) -> float:
+        try:
+            return self.arrays[(name, index)]
+        except KeyError:
+            return self.live_in(name, index)
+
+    def read_scalar(self, name: str) -> float:
+        try:
+            return self.scalars[name]
+        except KeyError:
+            return self.live_in(name, None)
+
+    def copy(self) -> "Store":
+        return Store(dict(self.arrays), dict(self.scalars), self.live_in)
+
+
+def run_loop(
+    loop: Loop,
+    iterations: int,
+    store: Store | None = None,
+    *,
+    trace: dict[tuple[str, int], float] | None = None,
+) -> Store:
+    """Execute ``loop`` for ``iterations`` iterations sequentially.
+
+    Structured conditionals are executed natively (branch not taken =
+    statements skipped), so this also serves as the semantic reference
+    for if-conversion.  Returns the final store.  If ``trace`` is
+    given, it is filled with the value produced by every *executed*
+    statement instance, keyed by ``(label, iteration)`` — this is what
+    the parallel-execution validators compare against.
+    """
+    st = store.copy() if store is not None else Store()
+
+    def exec_stmts(stmts, i: int) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                value = eval_expr(
+                    stmt.expr, i, st.read_array, st.read_scalar
+                )
+                if stmt.is_scalar:
+                    st.scalars[stmt.target] = value
+                else:
+                    st.arrays[(stmt.target, i + stmt.target_offset)] = value
+                if trace is not None:
+                    trace[(stmt.label, i)] = value
+            else:  # IfBlock
+                cond = eval_expr(
+                    stmt.cond, i, st.read_array, st.read_scalar
+                )
+                exec_stmts(
+                    stmt.then_body if cond else stmt.else_body, i
+                )
+
+    for i in range(iterations):
+        exec_stmts(loop.body, i)
+    return st

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the loop mini-language.
+
+Grammar (lines; ``#`` starts a comment)::
+
+    loop      := [ 'FOR' NAME '=' expr 'TO' expr ] stmt* [ 'ENDFOR' ]
+    stmt      := assign | ifblock
+    assign    := LABEL [ '{' INT '}' ] ':' lhs '=' expr
+    lhs       := NAME '[' index ']' | NAME
+    index     := VAR | VAR '+' INT | VAR '-' INT | INT? (rejected)
+    ifblock   := 'IF' expr 'THEN' stmt* [ 'ELSE' stmt* ] 'ENDIF'
+    expr      := cmp
+    cmp       := add [ ('<'|'<='|'>'|'>='|'=='|'!=') add ]
+    add       := mul ( ('+'|'-') mul )*
+    mul       := unary ( ('*'|'/') unary )*
+    unary     := '-' unary | '!' unary | atom
+    atom      := NUMBER | NAME '(' expr {',' expr} ')'
+               | NAME '[' index ']' | NAME | '(' expr ')'
+
+Statement labels default to ``S0, S1, ...`` when omitted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IfBlock,
+    Loop,
+    ScalarRef,
+    Stmt,
+    UnaryOp,
+)
+
+__all__ = ["parse_loop", "parse_expr"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|!=|[-+*/<>=!(){}\[\]:,]))"
+)
+
+
+@dataclass
+class _Token:
+    kind: str  # num | name | op | end
+    text: str
+
+
+def _tokenize(line: str, lineno: int) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    stripped = line.split("#", 1)[0]
+    while pos < len(stripped):
+        m = _TOKEN_RE.match(stripped, pos)
+        if m is None:
+            if stripped[pos:].strip() == "":
+                break
+            raise ParseError(
+                f"unexpected character {stripped[pos:].strip()[0]!r}", lineno
+            )
+        pos = m.end()
+        for kind in ("num", "name", "op"):
+            text = m.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind, text))
+                break
+    tokens.append(_Token("end", ""))
+    return tokens
+
+
+class _ExprParser:
+    """Precedence-climbing expression parser over one token stream."""
+
+    def __init__(self, tokens: list[_Token], lineno: int, loop_var: str | None):
+        self.tokens = tokens
+        self.pos = 0
+        self.lineno = lineno
+        self.loop_var = loop_var
+
+    # -- stream helpers -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> None:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {tok.text or 'end of line'!r}",
+                self.lineno,
+            )
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "end"
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Expr:
+        e = self.cmp()
+        return e
+
+    def cmp(self) -> Expr:
+        left = self.add()
+        if self.peek().text in ("<", "<=", ">", ">=", "==", "!="):
+            op = self.next().text
+            right = self.add()
+            return BinOp(op, left, right)
+        return left
+
+    def add(self) -> Expr:
+        left = self.mul()
+        while self.peek().text in ("+", "-"):
+            op = self.next().text
+            left = BinOp(op, left, self.mul())
+        return left
+
+    def mul(self) -> Expr:
+        left = self.unary()
+        while self.peek().text in ("*", "/"):
+            op = self.next().text
+            left = BinOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> Expr:
+        if self.peek().text in ("-", "!"):
+            op = self.next().text
+            return UnaryOp(op, self.unary())
+        return self.atom()
+
+    def atom(self) -> Expr:
+        tok = self.next()
+        if tok.kind == "num":
+            return Const(float(tok.text))
+        if tok.text == "(":
+            e = self.cmp()
+            self.expect(")")
+            return e
+        if tok.kind == "name":
+            if self.peek().text == "(":
+                self.next()
+                args = [self.cmp()]
+                while self.peek().text == ",":
+                    self.next()
+                    args.append(self.cmp())
+                self.expect(")")
+                return Call(tok.text.lower(), tuple(args))
+            if self.peek().text == "[":
+                self.next()
+                offset = self.index_expr()
+                self.expect("]")
+                return ArrayRef(tok.text, offset)
+            if self.loop_var is not None and tok.text == self.loop_var:
+                raise ParseError(
+                    f"bare loop index {tok.text!r} in expression is not "
+                    "supported; use it only inside subscripts",
+                    self.lineno,
+                )
+            return ScalarRef(tok.text)
+        raise ParseError(
+            f"unexpected token {tok.text or 'end of line'!r}", self.lineno
+        )
+
+    def index_expr(self) -> int:
+        """Parse an affine subscript ``VAR (+|-) INT`` -> its offset."""
+        tok = self.next()
+        if tok.kind != "name":
+            raise ParseError(
+                f"subscript must start with the loop index, found {tok.text!r}",
+                self.lineno,
+            )
+        if self.loop_var is not None and tok.text != self.loop_var:
+            raise ParseError(
+                f"subscript uses {tok.text!r} but the loop index is "
+                f"{self.loop_var!r}",
+                self.lineno,
+            )
+        if self.peek().text in ("+", "-"):
+            sign = 1 if self.next().text == "+" else -1
+            num = self.next()
+            if num.kind != "num" or "." in num.text:
+                raise ParseError(
+                    f"subscript offset must be an integer, found {num.text!r}",
+                    self.lineno,
+                )
+            return sign * int(num.text)
+        return 0
+
+
+def parse_expr(text: str, loop_var: str | None = "I") -> Expr:
+    """Parse a standalone expression (used by tests and tools)."""
+    parser = _ExprParser(_tokenize(text, 0), 0, loop_var)
+    expr = parser.parse()
+    if not parser.at_end():
+        raise ParseError(f"trailing input after expression: {parser.peek().text!r}")
+    return expr
+
+
+_FOR_RE = re.compile(
+    r"^\s*FOR\s+(?P<var>[A-Za-z_][A-Za-z_0-9]*)\s*=.*?\bTO\b", re.IGNORECASE
+)
+
+
+def parse_loop(source: str, name: str = "loop") -> Loop:
+    """Parse mini-language source into a :class:`~repro.lang.ast.Loop`.
+
+    The ``FOR``/``ENDFOR`` wrapper is optional; without it the loop
+    index defaults to ``I``.  Duplicate labels are rejected.
+    """
+    lines = source.splitlines()
+    var = "I"
+    body_lines: list[tuple[int, str]] = []
+    saw_for = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _FOR_RE.match(line)
+        if m:
+            if saw_for:
+                raise ParseError("nested FOR loops are not supported", lineno)
+            saw_for = True
+            var = m.group("var")
+            continue
+        if line.upper() in ("ENDFOR", "ENDDO"):
+            continue
+        body_lines.append((lineno, line))
+
+    loop = Loop(name, var)
+    stmts, rest = _parse_block(body_lines, var, counter=[0], terminators=())
+    if rest:
+        lineno, text = rest[0]
+        raise ParseError(f"unexpected {text.split()[0]!r}", lineno)
+    loop.body = stmts
+
+    labels = [a.label for a in _all_assigns(stmts)]
+    dupes = {x for x in labels if labels.count(x) > 1}
+    if dupes:
+        raise ParseError(f"duplicate statement labels: {sorted(dupes)}")
+    return loop
+
+
+def _all_assigns(stmts: list[Stmt]) -> list[Assign]:
+    out: list[Assign] = []
+    for s in stmts:
+        if isinstance(s, Assign):
+            out.append(s)
+        else:
+            out.extend(_all_assigns(list(s.then_body)))
+            out.extend(_all_assigns(list(s.else_body)))
+    return out
+
+
+def _parse_block(
+    lines: list[tuple[int, str]],
+    var: str,
+    counter: list[int],
+    terminators: tuple[str, ...],
+) -> tuple[list[Stmt], list[tuple[int, str]]]:
+    """Parse statements until one of ``terminators`` (left in place)."""
+    stmts: list[Stmt] = []
+    i = 0
+    while i < len(lines):
+        lineno, line = lines[i]
+        head = line.split()[0].upper()
+        if head in terminators:
+            return stmts, lines[i:]
+        if head == "IF":
+            block, remaining = _parse_if(lines[i:], var, counter)
+            stmts.append(block)
+            consumed = len(lines) - len(remaining) - i
+            i += consumed
+        else:
+            stmts.append(_parse_assign(lineno, line, var, counter))
+            i += 1
+    return stmts, []
+
+
+def _parse_if(
+    lines: list[tuple[int, str]], var: str, counter: list[int]
+) -> tuple[IfBlock, list[tuple[int, str]]]:
+    lineno, header = lines[0]
+    m = re.match(r"^\s*IF\s+(?P<cond>.*?)\s+THEN\s*$", header, re.IGNORECASE)
+    if m is None:
+        raise ParseError("malformed IF (expected 'IF <cond> THEN')", lineno)
+    cond = parse_expr(m.group("cond"), var)
+    then_body, rest = _parse_block(lines[1:], var, counter, ("ELSE", "ENDIF"))
+    if not rest:
+        raise ParseError("IF without ENDIF", lineno)
+    else_body: list[Stmt] = []
+    if rest[0][1].split()[0].upper() == "ELSE":
+        else_body, rest = _parse_block(rest[1:], var, counter, ("ENDIF",))
+        if not rest:
+            raise ParseError("ELSE without ENDIF", lineno)
+    return (
+        IfBlock(cond, tuple(then_body), tuple(else_body)),
+        rest[1:],  # drop the ENDIF line
+    )
+
+
+_ASSIGN_HEAD_RE = re.compile(
+    r"^(?P<label>[A-Za-z_][A-Za-z_0-9]*)\s*(?:\{(?P<lat>\d+)\})?\s*:\s*(?P<rest>.*)$"
+)
+
+
+def _parse_assign(
+    lineno: int, line: str, var: str, counter: list[int]
+) -> Assign:
+    m = _ASSIGN_HEAD_RE.match(line)
+    if m and "=" in m.group("rest"):
+        label = m.group("label")
+        latency = int(m.group("lat")) if m.group("lat") else 1
+        rest = m.group("rest")
+    else:
+        label = f"S{counter[0]}"
+        latency = 1
+        rest = line
+    counter[0] += 1
+
+    tokens = _tokenize(rest, lineno)
+    parser = _ExprParser(tokens, lineno, var)
+    target_tok = parser.next()
+    if target_tok.kind != "name":
+        raise ParseError(
+            f"assignment target must be a name, found {target_tok.text!r}", lineno
+        )
+    target = target_tok.text
+    target_offset: int | None = None
+    if parser.peek().text == "[":
+        parser.next()
+        target_offset = parser.index_expr()
+        parser.expect("]")
+    parser.expect("=")
+    expr = parser.parse()
+    if not parser.at_end():
+        raise ParseError(
+            f"trailing input after expression: {parser.peek().text!r}", lineno
+        )
+    if latency < 1:
+        raise ParseError(f"latency must be >= 1, got {latency}", lineno)
+    return Assign(label, target, target_offset, expr, latency)

@@ -1,0 +1,12 @@
+"""MIMD machine model: processors + communication-cost models."""
+
+from repro.machine.comm import CommModel, FluctuatingComm, UniformComm, ZeroComm
+from repro.machine.model import Machine
+
+__all__ = [
+    "CommModel",
+    "FluctuatingComm",
+    "Machine",
+    "UniformComm",
+    "ZeroComm",
+]

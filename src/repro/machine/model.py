@@ -1,0 +1,64 @@
+"""The asynchronous MIMD machine model.
+
+A :class:`Machine` is a processor count plus a communication-cost model.
+Semantics (documented in DESIGN.md §3, used consistently by scheduler,
+simulator and validators):
+
+* time is integer cycles; an op placed at ``s`` with latency ``l``
+  occupies ``[s, s + l)``;
+* its result is available on its own processor at ``s + l`` and on any
+  other processor at ``s + l + c``, where ``c`` is the edge's
+  communication cost;
+* communication is fully overlapped (a non-blocking send costs the
+  sender nothing; the receiver blocks until arrival);
+* each processor executes its assigned ops strictly in its assigned
+  order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ReproError
+from repro.machine.comm import CommModel, UniformComm, ZeroComm
+
+__all__ = ["Machine"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An asynchronous MIMD machine.
+
+    Parameters
+    ----------
+    processors:
+        Number of processors available to the scheduler.  The paper
+        assumes "a sufficient number"; 8 is plenty for all its loops.
+    comm:
+        Communication-cost model (compile estimate + run-time cost).
+    """
+
+    processors: int = 8
+    comm: CommModel = UniformComm(2)
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ReproError(
+                f"machine needs >= 1 processor, got {self.processors}"
+            )
+
+    @property
+    def k(self) -> int:
+        """The compile-time communication-cost bound (paper's ``k``)."""
+        return self.comm.max_compile_cost()
+
+    def with_processors(self, processors: int) -> "Machine":
+        return replace(self, processors=processors)
+
+    def with_comm(self, comm: CommModel) -> "Machine":
+        return replace(self, comm=comm)
+
+    @staticmethod
+    def vliw_like(processors: int = 8) -> "Machine":
+        """Zero-communication machine (Perfect Pipelining's model)."""
+        return Machine(processors, ZeroComm())

@@ -1,0 +1,32 @@
+"""Reporting: ASCII Gantt charts and paper-style tables."""
+
+from repro.report.compile_report import compile_report
+from repro.report.export import (
+    fig8_to_dict,
+    measurement_to_dict,
+    perfect_gap_to_dicts,
+    sweep_to_dicts,
+    table1_to_dict,
+    to_json,
+)
+from repro.report.gantt import gantt, pattern_chart
+from repro.report.tables import (
+    format_measurement,
+    format_measurements,
+    format_table1,
+)
+
+__all__ = [
+    "compile_report",
+    "fig8_to_dict",
+    "format_measurement",
+    "format_measurements",
+    "format_table1",
+    "gantt",
+    "measurement_to_dict",
+    "pattern_chart",
+    "perfect_gap_to_dicts",
+    "sweep_to_dicts",
+    "table1_to_dict",
+    "to_json",
+]

@@ -1,0 +1,97 @@
+"""Full human-readable compilation report for one scheduled loop.
+
+Gathers everything the library knows about a scheduling decision into
+one document: the dependence summary, classification, pattern chart,
+processor allocation, steady-state economics (rate vs recurrence bound
+vs sequential), and — when the loop source is available — the emitted
+partitioned pseudo-code.  The CLI's ``schedule`` command and the
+examples print these.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import CombinedLoop, ScheduledLoop
+from repro.errors import CodegenError
+from repro.graph.algorithms import critical_recurrence_ratio
+from repro.lang.ast import Loop
+from repro.metrics import percentage_parallelism
+from repro.report.gantt import pattern_chart
+
+__all__ = ["compile_report"]
+
+
+def compile_report(
+    scheduled: ScheduledLoop | CombinedLoop,
+    loop: Loop | None = None,
+    *,
+    emit_code: bool = True,
+) -> str:
+    """Render a complete compilation report as text."""
+    if isinstance(scheduled, CombinedLoop):
+        parts = [
+            f"{len(scheduled.parts)} independent components, "
+            f"{scheduled.total_processors} processors total, combined "
+            f"rate {scheduled.steady_cycles_per_iteration():.3g} "
+            f"cycles/iteration"
+        ]
+        for part in scheduled.parts:
+            parts.append(compile_report(part, emit_code=emit_code))
+        return ("\n" + "=" * 60 + "\n").join(parts)
+
+    g = scheduled.graph
+    c = scheduled.classification
+    lines = [
+        f"=== compilation report: {g.name} ===",
+        f"nodes {len(g)} ({g.total_latency()} cycles/iteration "
+        f"sequential), edges {len(g.edges)} "
+        f"({sum(1 for e in g.edges if e.distance >= 1)} loop-carried)",
+        f"classification: flow-in {len(c.flow_in)}, cyclic "
+        f"{len(c.cyclic)}, flow-out {len(c.flow_out)}",
+    ]
+
+    bound = critical_recurrence_ratio(g)
+    rate = scheduled.steady_cycles_per_iteration()
+    seq = g.total_latency()
+    lines.append(
+        f"steady rate {rate:.3g} cycles/iteration "
+        f"(recurrence bound {bound:.3g}, sequential {seq}) -> "
+        f"asymptotic Sp {percentage_parallelism(seq, rate):.1f}%"
+    )
+
+    if scheduled.pattern is None:
+        lines.append(
+            f"DOALL loop: iterations interleaved over "
+            f"{scheduled.machine.processors} processors"
+        )
+        return "\n".join(lines)
+
+    assert scheduled.plan is not None
+    if scheduled.plan.fold_into is not None:
+        lines.append(
+            f"non-cyclic work folded into cyclic processor "
+            f"{scheduled.plan.fold_into}"
+        )
+    elif scheduled.plan.extra_processors:
+        lines.append(
+            f"flow-in on {scheduled.plan.flow_in_procs}, flow-out on "
+            f"{scheduled.plan.flow_out_procs} extra processor(s)"
+        )
+    lines.append(f"total processors: {scheduled.total_processors}")
+    if scheduled.stats is not None:
+        lines.append(
+            f"detection: {scheduled.stats.instances_scheduled} instances "
+            f"scheduled, {scheduled.stats.unrollings} unrollings, "
+            f"{scheduled.stats.candidates_tried} candidate(s) verified"
+        )
+    lines.append("")
+    lines.append(pattern_chart(scheduled.pattern))
+
+    if emit_code:
+        from repro.codegen.emit import emit_subloops
+
+        lines.append("")
+        try:
+            lines.append(emit_subloops(scheduled, loop))
+        except CodegenError as exc:
+            lines.append(f"(symbolic code emission unavailable: {exc})")
+    return "\n".join(lines)

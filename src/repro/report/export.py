@@ -1,0 +1,131 @@
+"""Machine-readable export of experiment results.
+
+Turns the experiment result objects into plain dictionaries and JSON —
+for plotting, regression tracking, or archiving alongside
+EXPERIMENTS.md.  Keys are stable and documented here; values are plain
+ints/floats/strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.experiments import (
+    CommSweepPoint,
+    Fig8Result,
+    Measurement,
+    PerfectGapRow,
+    Table1Result,
+)
+
+__all__ = [
+    "measurement_to_dict",
+    "table1_to_dict",
+    "fig8_to_dict",
+    "sweep_to_dicts",
+    "perfect_gap_to_dicts",
+    "to_json",
+]
+
+
+def measurement_to_dict(m: Measurement) -> dict[str, Any]:
+    """One workload measurement as a flat dictionary."""
+    return {
+        "workload": m.name,
+        "iterations": m.iterations,
+        "sequential_cycles": m.sequential,
+        "parallel_cycles": m.ours,
+        "doacross_cycles": m.doacross,
+        "sp_ours": round(m.sp_ours, 3),
+        "sp_doacross": round(m.sp_doacross, 3),
+        "ours_rate_cycles_per_iteration": m.ours_rate,
+        "doacross_delay": m.doacross_delay,
+        "processors": m.total_processors,
+        "paper": dict(m.paper),
+    }
+
+
+def table1_to_dict(t: Table1Result) -> dict[str, Any]:
+    """Table 1(a)+(b) as nested dictionaries, paper averages included."""
+    return {
+        "iterations": t.iterations,
+        "mms": list(t.mms),
+        "rows": [
+            {
+                "seed": r.seed,
+                "cyclic_nodes": r.cyclic_nodes,
+                **{
+                    f"mm{mm}": {
+                        "sp_ours": round(r.sp[mm][0], 3),
+                        "sp_doacross": round(r.sp[mm][1], 3),
+                    }
+                    for mm in t.mms
+                },
+            }
+            for r in t.rows
+        ],
+        "averages": {
+            f"mm{mm}": {
+                "sp_ours": round(t.mean_ours(mm), 3),
+                "sp_doacross": round(t.mean_doacross(mm), 3),
+                "factor": round(t.factor(mm), 3),
+                "doacross_wins": t.losses(mm),
+            }
+            for mm in t.mms
+        },
+        "paper_averages": {
+            f"mm{mm}": {
+                "sp_ours": v[0],
+                "sp_doacross": v[1],
+                "factor": v[2],
+            }
+            for mm, v in t.paper_averages.items()
+        },
+    }
+
+
+def fig8_to_dict(r: Fig8Result) -> dict[str, Any]:
+    """Fig. 8 DOACROSS comparison as a dictionary."""
+    return {
+        "natural_delay": r.natural.delay,
+        "natural_sp": round(r.sp_natural, 3),
+        "reordered_delay": r.reordered.delay,
+        "reordered_body": list(r.reordered.body_order),
+        "reordered_sp": round(r.sp_reordered, 3),
+    }
+
+
+def sweep_to_dicts(points: list[CommSweepPoint]) -> list[dict[str, Any]]:
+    """Robustness-sweep points as dictionaries."""
+    return [
+        {
+            "true_k": p.true_k,
+            "sp_ours": round(p.sp_ours, 3),
+            "sp_doacross": round(p.sp_doacross, 3),
+        }
+        for p in points
+    ]
+
+
+def perfect_gap_to_dicts(rows: list[PerfectGapRow]) -> list[dict[str, Any]]:
+    """Perfect Pipelining gap rows as dictionaries."""
+    return [
+        {
+            "workload": r.name,
+            "recurrence_bound": round(r.recurrence_bound, 6),
+            "perfect_rate": r.perfect_rate,
+            "ours_rate": r.ours_rate,
+            "doacross_rate": r.doacross_rate,
+        }
+        for r in rows
+    ]
+
+
+def to_json(payload: Any, path: str | None = None) -> str:
+    """Serialize (and optionally write) an exported payload."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+    return text

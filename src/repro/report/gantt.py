@@ -1,0 +1,66 @@
+"""ASCII Gantt charts of schedules — the library's analogue of the
+paper's schedule figures (Fig. 3(c), 7(d), 9(c), 11(d), 12(b))."""
+
+from __future__ import annotations
+
+from repro.core.patterns import Pattern
+from repro.core.schedule import Schedule
+
+__all__ = ["gantt", "pattern_chart"]
+
+
+def gantt(
+    schedule: Schedule,
+    *,
+    first_cycle: int = 0,
+    cycles: int | None = None,
+    cell_width: int = 6,
+) -> str:
+    """Render a schedule as one text row per cycle, one column per
+    processor — the layout the paper's figures use.
+
+    Cells show ``node[iteration]``; a multi-cycle op repeats its label
+    with a ``|`` continuation marker; idle cells show ``.``.
+    """
+    span = schedule.makespan()
+    if cycles is None:
+        cycles = span - first_cycle
+    used = schedule.used_processors() or [0]
+    grid: dict[tuple[int, int], str] = {}
+    for p in schedule.placements():
+        label = f"{p.op.node}[{p.op.iteration}]"
+        for q in range(p.latency):
+            grid[(p.proc, p.start + q)] = label if q == 0 else "|" + label
+    header = "cycle".rjust(6) + "".join(
+        f"PE{j}".center(cell_width + 2) for j in used
+    )
+    lines = [header]
+    for c in range(first_cycle, min(first_cycle + cycles, span)):
+        row = str(c).rjust(6)
+        for j in used:
+            cell = grid.get((j, c), ".")
+            row += " " + cell[: cell_width].ljust(cell_width) + " "
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def pattern_chart(pattern: Pattern, *, cell_width: int = 6) -> str:
+    """Render a pattern: prelude, then the kernel boxed as in Fig. 7(d)."""
+    sched = Schedule(pattern.processors)
+    for p in pattern.prelude:
+        sched.add_placement(p)
+    for p in pattern.kernel:
+        sched.add_placement(p)
+    body = gantt(
+        sched, cycles=pattern.start + pattern.period, cell_width=cell_width
+    )
+    lines = body.splitlines()
+    bar = "-" * max(len(line) for line in lines)
+    # box the kernel rows: header + prelude rows come first
+    head = 1 + pattern.start
+    out = lines[:head] + [bar] + lines[head:] + [bar]
+    out.append(
+        f"(pattern: {pattern.period} cycles / {pattern.iter_shift} "
+        f"iteration(s) = {pattern.cycles_per_iteration():.3g} cycles/iter)"
+    )
+    return "\n".join(out)

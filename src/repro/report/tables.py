@@ -1,0 +1,63 @@
+"""Text tables in the paper's layout (Table 1(a)/(b), comparison rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments import Measurement, Table1Result
+
+__all__ = ["format_measurement", "format_measurements", "format_table1"]
+
+
+def format_measurement(m: Measurement) -> str:
+    """A paper-vs-measured block for one workload."""
+    lines = [
+        f"{m.name}: {m.iterations} iterations, "
+        f"{m.total_processors} processors",
+        f"  sequential {m.sequential} cycles; ours {m.ours} "
+        f"(rate {m.ours_rate:.3g} cycles/iter); "
+        f"doacross {m.doacross} (delay {m.doacross_delay})",
+        f"  Sp ours     {m.sp_ours:6.1f}"
+        + (
+            f"   (paper {m.paper['sp_ours']:.1f})"
+            if "sp_ours" in m.paper
+            else ""
+        ),
+        f"  Sp doacross {m.sp_doacross:6.1f}"
+        + (
+            f"   (paper {m.paper['sp_doacross']:.1f})"
+            if "sp_doacross" in m.paper
+            else ""
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def format_measurements(ms: Iterable[Measurement]) -> str:
+    """Paper-vs-measured blocks for several workloads."""
+    return "\n\n".join(format_measurement(m) for m in ms)
+
+
+def format_table1(t: Table1Result) -> str:
+    """Render Table 1(a) (per-loop Sp) and Table 1(b) (averages)."""
+    mms = list(t.mms)
+    header = "loop  nodes " + "".join(
+        f"| mm={mm}: x doacross " for mm in mms
+    )
+    lines = [header, "-" * len(header)]
+    for row in t.rows:
+        cells = "".join(
+            f"|  {row.sp[mm][0]:5.1f}  {row.sp[mm][1]:5.1f}   " for mm in mms
+        )
+        lines.append(f"{row.seed:4d}  {row.cyclic_nodes:4d}  {cells}")
+    lines.append("-" * len(header))
+    lines.append("Table 1(b) — averages (measured vs paper):")
+    for mm in mms:
+        po, pd, pf = t.paper_averages.get(mm, (float("nan"),) * 3)
+        lines.append(
+            f"  mm={mm}: x {t.mean_ours(mm):5.1f} (paper {po:5.1f})   "
+            f"doacross {t.mean_doacross(mm):5.1f} (paper {pd:5.1f})   "
+            f"factor {t.factor(mm):4.1f} (paper {pf:.1f})   "
+            f"loops where DOACROSS wins: {t.losses(mm)}"
+        )
+    return "\n".join(lines)

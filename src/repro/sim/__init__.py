@@ -1,0 +1,24 @@
+"""Simulated asynchronous multiprocessor.
+
+Two interchangeable implementations of the machine semantics:
+
+* :func:`repro.sim.fastpath.evaluate` — closed-form forward pass;
+* :func:`repro.sim.engine.simulate` — event-driven engine with message
+  objects and a full :class:`~repro.sim.engine.ExecutionTrace`.
+
+Property tests assert they agree cycle-for-cycle.
+"""
+
+from repro.sim.engine import ExecutionTrace, Message, simulate
+from repro.sim.fastpath import evaluate
+from repro.sim.trace import TraceStats, critical_chain, trace_stats
+
+__all__ = [
+    "ExecutionTrace",
+    "Message",
+    "TraceStats",
+    "critical_chain",
+    "evaluate",
+    "simulate",
+    "trace_stats",
+]

@@ -1,0 +1,238 @@
+"""Event-driven simulated multiprocessor.
+
+This is the paper's evaluation vehicle (Section 4): the compile-time
+schedule fixes only the *assignment* of ops to processors and each
+processor's *execution order*; at run time every processor executes its
+next op as soon as its operands are available, with inter-processor
+values travelling as messages whose cost may fluctuate
+(:class:`~repro.machine.comm.FluctuatingComm`).
+
+Semantics (identical to :mod:`repro.sim.fastpath`, computed
+operationally rather than by solving the recurrence):
+
+* a processor is either idle or executing one op;
+* an op may start once (a) its processor is idle, (b) every same-
+  processor predecessor has finished, and (c) every cross-processor
+  predecessor's message has arrived;
+* a message for edge ``e`` from instance ``src`` departs when ``src``
+  finishes and arrives ``runtime_cost(e, src)`` cycles later; sends are
+  free for the sender and links never contend (the paper's "fully
+  overlapped communication").
+
+The engine also records a full :class:`ExecutionTrace` (op timings and
+every message) for reporting and debugging.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro._types import Op
+from repro.core.schedule import Schedule
+from repro.errors import DeadlockError, SimulationError
+from repro.graph.ddg import DependenceGraph, Edge
+from repro.machine.comm import CommModel
+
+__all__ = ["Message", "ExecutionTrace", "simulate"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One inter-processor value transfer."""
+
+    src: Op
+    dst: Op
+    src_proc: int
+    dst_proc: int
+    sent: int
+    arrived: int
+
+    @property
+    def cost(self) -> int:
+        return self.arrived - self.sent
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything that happened in one simulated run."""
+
+    schedule: Schedule
+    messages: list[Message] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan()
+
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    def total_comm_cycles(self) -> int:
+        return sum(m.cost for m in self.messages)
+
+
+def simulate(
+    graph: DependenceGraph,
+    order: Sequence[Sequence[Op]],
+    comm: CommModel,
+    *,
+    use_runtime: bool = True,
+    link_capacity: int | None = None,
+    channel_fifo: bool = False,
+) -> ExecutionTrace:
+    """Run the program on the simulated multiprocessor.
+
+    ``order[j]`` is processor ``j``'s op sequence.  Predecessor
+    instances absent from the program are treated as loop live-ins,
+    available at time 0.  Raises
+    :class:`~repro.errors.DeadlockError` when no processor can make
+    progress with ops outstanding.
+
+    ``link_capacity`` extends the paper's model: ``None`` (default) is
+    the paper's fully-overlapped communication — any number of messages
+    in flight per processor pair; an integer ``c`` limits each directed
+    processor pair to injecting ``c`` messages per cycle, so bursts
+    queue up and contention delays arrivals.  The compile-time
+    scheduler knows nothing of contention, which makes this a stress
+    test of the paper's robustness story beyond fluctuating latency.
+
+    ``channel_fifo=True`` delivers messages on each directed processor
+    pair in sending order (a later message never overtakes an earlier
+    one), which is the channel discipline the paper's generated
+    SEND/RECEIVE code relies on: its receives are paired with senders
+    *statically*, so an overtaking message would be mis-delivered.
+    Our default engine matches messages to consumer instances by tag,
+    so overtaking is harmless there; the FIFO mode exists to measure
+    what the in-order discipline costs under fluctuating latency.
+    """
+    processors = len(order)
+    if processors < 1:
+        raise SimulationError("need at least one processor")
+    if link_capacity is not None and link_capacity < 1:
+        raise SimulationError("link_capacity must be >= 1 (or None)")
+
+    proc_of: dict[Op, int] = {}
+    for j, ops in enumerate(order):
+        for op in ops:
+            if op in proc_of:
+                raise SimulationError(f"{op} appears twice in the program")
+            graph.node(op.node)
+            proc_of[op] = j
+
+    # per-op requirements: local predecessor instances / expected messages
+    local_preds: dict[Op, list[Op]] = {}
+    expected_msgs: dict[Op, int] = {}
+    consumers: dict[Op, list[tuple[Op, Edge]]] = {}
+    for op, j in proc_of.items():
+        locals_, msgs = [], 0
+        for pred, edge in graph.instance_predecessors(op):
+            if pred not in proc_of:
+                continue
+            if proc_of[pred] == j:
+                locals_.append(pred)
+            else:
+                msgs += 1
+                consumers.setdefault(pred, []).append((op, edge))
+        local_preds[op] = locals_
+        expected_msgs[op] = msgs
+
+    sched = Schedule(processors)
+    trace = ExecutionTrace(sched)
+    ptr = [0] * processors
+    busy_until = [0] * processors
+    finished: set[Op] = set()
+    msgs_arrived: dict[Op, int] = {op: 0 for op in proc_of}
+
+    # event heap: (time, seq, kind, payload); kinds sorted by arrival
+    # time only — simultaneous events commute because starting an op
+    # depends on a monotone set of satisfied prerequisites.
+    events: list[tuple[int, int, str, object]] = []
+    seq = 0
+    # per directed processor pair: [current injection cycle, used slots]
+    link_slots: dict[tuple[int, int], list[int]] = {}
+    # per directed processor pair: latest arrival so far (FIFO mode)
+    channel_last: dict[tuple[int, int], int] = {}
+
+    def post(time: int, kind: str, payload: object) -> None:
+        nonlocal seq
+        heapq.heappush(events, (time, seq, kind, payload))
+        seq += 1
+
+    def can_start(op: Op) -> bool:
+        return msgs_arrived[op] == expected_msgs[op] and all(
+            p in finished for p in local_preds[op]
+        )
+
+    def try_start(j: int, now: int) -> None:
+        if busy_until[j] > now or ptr[j] >= len(order[j]):
+            return
+        op = order[j][ptr[j]]
+        if not can_start(op):
+            return
+        lat = graph.latency(op.node)
+        sched.add(op, j, now, lat)
+        busy_until[j] = now + lat
+        ptr[j] += 1
+        post(now + lat, "finish", op)
+
+    for j in range(processors):
+        try_start(j, 0)
+
+    executed = 0
+    while events:
+        time, _, kind, payload = heapq.heappop(events)
+        if kind == "finish":
+            op = payload  # type: ignore[assignment]
+            finished.add(op)
+            executed += 1
+            j = proc_of[op]
+            for dst, edge in consumers.get(op, ()):
+                cost = (
+                    comm.runtime_cost(edge, op)
+                    if use_runtime
+                    else comm.compile_cost(edge)
+                )
+                sent = time
+                if link_capacity is not None:
+                    # the directed link (j -> dst_proc) injects at most
+                    # `link_capacity` messages per cycle: later ones
+                    # wait for an injection slot.
+                    link = (j, proc_of[dst])
+                    slots = link_slots.setdefault(link, [0, 0])
+                    if slots[0] < time:
+                        slots[0], slots[1] = time, 0
+                    if slots[1] >= link_capacity:
+                        slots[0] += 1
+                        slots[1] = 0
+                    sent = slots[0]
+                    slots[1] += 1
+                arrive = sent + cost
+                if channel_fifo:
+                    link = (j, proc_of[dst])
+                    arrive = max(arrive, channel_last.get(link, 0))
+                    channel_last[link] = arrive
+                trace.messages.append(
+                    Message(op, dst, j, proc_of[dst], sent, arrive)
+                )
+                post(arrive, "msg", dst)
+            try_start(j, time)  # processor freed: start its next op
+            # a local successor at another point of j's order starts
+            # when the pointer reaches it; a local successor at the
+            # current head is handled by the try_start above.
+        else:  # msg
+            dst = payload  # type: ignore[assignment]
+            msgs_arrived[dst] += 1
+            try_start(proc_of[dst], time)
+
+    if executed != len(proc_of):
+        stuck = [
+            order[j][ptr[j]]
+            for j in range(processors)
+            if ptr[j] < len(order[j])
+        ]
+        raise DeadlockError(
+            f"simulation deadlocked with {len(proc_of) - executed} ops "
+            f"unexecuted; stuck heads: {stuck[:5]}"
+        )
+    return trace

@@ -1,0 +1,137 @@
+"""Closed-form evaluation of a (assignment, order) parallel program.
+
+Because the machine model is deterministic given per-processor op
+orders (DESIGN.md §3 — blocking receives, fully overlapped sends,
+in-order execution), execution times satisfy a simple recurrence::
+
+    start(op) = max( end(previous op on op's processor),
+                     max over predecessors p of
+                         end(p) + [proc(p) != proc(op)] * cost(edge, p) )
+
+:func:`evaluate` solves it by a dependency-driven forward pass and
+returns a full :class:`~repro.core.schedule.Schedule` with concrete
+start times.  With ``use_runtime=True`` the per-message *run-time*
+communication cost is charged (possibly fluctuating) instead of the
+compile-time estimate — that is the paper's "simulated multiprocessor".
+The event-driven engine (:mod:`repro.sim.engine`) computes the same
+times operationally; the test suite cross-checks the two.
+
+A cyclic waiting chain (op A waits for a message from an op that is
+queued behind A's own processor-order successor, etc.) is reported as
+:class:`~repro.errors.DeadlockError` — a correctly generated program
+can never deadlock, so this doubles as a codegen sanity check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro._types import Op
+from repro.core.schedule import Schedule
+from repro.errors import DeadlockError, SimulationError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import CommModel
+
+__all__ = ["evaluate"]
+
+
+def evaluate(
+    graph: DependenceGraph,
+    order: Sequence[Sequence[Op]],
+    comm: CommModel,
+    *,
+    use_runtime: bool = False,
+) -> Schedule:
+    """Compute start/finish times for a per-processor op ordering.
+
+    ``order[j]`` is the exact execution order of processor ``j``.
+    Dependences whose source instance is absent from the program
+    (live-in values, or nodes outside the scheduled subset) are
+    satisfied at time 0.
+    """
+    processors = len(order)
+    if processors < 1:
+        raise SimulationError("need at least one processor")
+
+    proc_of: dict[Op, int] = {}
+    pos_of: dict[Op, int] = {}
+    for j, ops in enumerate(order):
+        for idx, op in enumerate(ops):
+            if op in proc_of:
+                raise SimulationError(f"{op} appears twice in the program")
+            graph.node(op.node)  # raises GraphError on unknown nodes
+            if op.iteration < 0:
+                raise SimulationError(f"negative iteration: {op}")
+            proc_of[op] = j
+            pos_of[op] = idx
+
+    # remaining unplaced predecessors *within the program* per op
+    remaining: dict[Op, int] = {}
+    dependents: dict[Op, list[Op]] = {}
+    for op in proc_of:
+        cnt = 0
+        for pred, _edge in graph.instance_predecessors(op):
+            if pred in proc_of:
+                cnt += 1
+                dependents.setdefault(pred, []).append(op)
+        remaining[op] = cnt
+
+    sched = Schedule(processors)
+    ptr = [0] * processors
+    proc_end = [0] * processors
+    queue: deque[int] = deque(range(processors))
+    queued = [True] * processors
+    placed = 0
+
+    def head_ready(j: int) -> bool:
+        if ptr[j] >= len(order[j]):
+            return False
+        return remaining[order[j][ptr[j]]] == 0
+
+    while queue:
+        j = queue.popleft()
+        queued[j] = False
+        while head_ready(j):
+            op = order[j][ptr[j]]
+            start = proc_end[j]
+            for pred, edge in graph.instance_predecessors(op):
+                if pred not in proc_of:
+                    continue
+                pp = sched.placement(pred)
+                avail = pp.end
+                if pp.proc != j:
+                    avail += (
+                        comm.runtime_cost(edge, pred)
+                        if use_runtime
+                        else comm.compile_cost(edge)
+                    )
+                if avail > start:
+                    start = avail
+            lat = graph.latency(op.node)
+            sched.add(op, j, start, lat)
+            proc_end[j] = start + lat
+            ptr[j] += 1
+            placed += 1
+            for dep in dependents.get(op, ()):  # wake waiting processors
+                remaining[dep] -= 1
+                if remaining[dep] == 0:
+                    dj = proc_of[dep]
+                    if (
+                        dj != j
+                        and not queued[dj]
+                        and ptr[dj] < len(order[dj])
+                        and order[dj][ptr[dj]] == dep
+                    ):
+                        queued[dj] = True
+                        queue.append(dj)
+
+    if placed != len(proc_of):
+        stuck = [
+            order[j][ptr[j]] for j in range(processors) if ptr[j] < len(order[j])
+        ]
+        raise DeadlockError(
+            f"program deadlocked with {len(proc_of) - placed} ops "
+            f"unexecuted; stuck heads: {stuck[:5]}"
+        )
+    return sched

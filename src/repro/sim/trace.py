@@ -1,0 +1,142 @@
+"""Execution-trace analysis.
+
+Post-processing of :class:`~repro.sim.engine.ExecutionTrace`: per-
+processor utilization, message statistics and the *actual* critical
+path of a run — the chain of ops and messages whose back-to-back times
+explain the makespan.  Useful for diagnosing why a schedule misses its
+compile-time rate (e.g. communication fluctuation pushing a message
+onto the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._types import Op
+from repro.graph.ddg import DependenceGraph
+from repro.sim.engine import ExecutionTrace, Message
+
+__all__ = ["ProcessorStats", "trace_stats", "critical_chain", "TraceStats"]
+
+
+@dataclass(frozen=True)
+class ProcessorStats:
+    proc: int
+    ops: int
+    busy_cycles: int
+    first_start: int
+    last_finish: int
+
+    @property
+    def utilization(self) -> float:
+        span = self.last_finish
+        return self.busy_cycles / span if span else 0.0
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    makespan: int
+    processors: Sequence[ProcessorStats]
+    messages: int
+    comm_cycles: int
+    mean_message_cost: float
+
+    def busiest(self) -> ProcessorStats:
+        return max(self.processors, key=lambda p: p.busy_cycles)
+
+    def summary(self) -> str:
+        lines = [
+            f"makespan {self.makespan} cycles, {self.messages} messages "
+            f"({self.comm_cycles} cycles, mean {self.mean_message_cost:.2f})"
+        ]
+        for p in self.processors:
+            lines.append(
+                f"  PE{p.proc}: {p.ops} ops, busy {p.busy_cycles} "
+                f"({p.utilization:.0%}), active [{p.first_start}, "
+                f"{p.last_finish})"
+            )
+        return "\n".join(lines)
+
+
+def trace_stats(trace: ExecutionTrace) -> TraceStats:
+    """Aggregate per-processor and message statistics of a run."""
+    sched = trace.schedule
+    procs = []
+    for j in sched.used_processors():
+        ops = sched.ops_on(j)
+        procs.append(
+            ProcessorStats(
+                proc=j,
+                ops=len(ops),
+                busy_cycles=sum(p.latency for p in ops),
+                first_start=ops[0].start,
+                last_finish=ops[-1].end,
+            )
+        )
+    n = trace.message_count()
+    total = trace.total_comm_cycles()
+    return TraceStats(
+        makespan=trace.makespan,
+        processors=procs,
+        messages=n,
+        comm_cycles=total,
+        mean_message_cost=total / n if n else 0.0,
+    )
+
+
+def critical_chain(
+    graph: DependenceGraph, trace: ExecutionTrace
+) -> list[tuple[Op, str]]:
+    """The chain of events explaining the makespan.
+
+    Walks backwards from the last-finishing op: at each step, find what
+    the op was actually waiting on — a message arriving exactly at its
+    start ('comm'), a same-processor predecessor finishing then
+    ('data'), or the previous op on its processor ('proc').  Each chain
+    entry is ``(op, why-it-started-when-it-did)``; the first entry's
+    reason is ``'start'`` (time 0 or an idle gap, i.e. nothing blocked
+    it).  Returned in execution order.
+    """
+    sched = trace.schedule
+    if not len(sched):
+        return []
+    arrivals: dict[tuple[Op, Op], Message] = {
+        (m.src, m.dst): m for m in trace.messages
+    }
+    last = max(sched.placements(), key=lambda p: (p.end, p.proc))
+    prev_on_proc: dict[Op, Op] = {}
+    for j in sched.used_processors():
+        row = sched.ops_on(j)
+        for a, b in zip(row, row[1:]):
+            prev_on_proc[b.op] = a.op
+
+    def blocker_of(op: Op) -> tuple[Op | None, str]:
+        p = sched.placement(op)
+        if p.start == 0:
+            return None, "start"
+        for pred, _e in graph.instance_predecessors(op):
+            if pred not in sched:
+                continue
+            pp = sched.placement(pred)
+            if pp.proc == p.proc and pp.end == p.start:
+                return pred, "data"
+            m = arrivals.get((pred, op))
+            if m is not None and m.arrived == p.start:
+                return pred, "comm"
+        prev = prev_on_proc.get(op)
+        if prev is not None and sched.placement(prev).end == p.start:
+            return prev, "proc"
+        return None, "start"  # idle gap: nothing blocked this op
+
+    chain: list[tuple[Op, str]] = []
+    op: Op | None = last.op
+    for _ in range(len(sched) + 1):
+        assert op is not None
+        blocker, why = blocker_of(op)
+        chain.append((op, why))
+        if blocker is None:
+            break
+        op = blocker
+    chain.reverse()
+    return chain

@@ -1,0 +1,54 @@
+"""Workload library: the paper's worked examples, the two application
+kernels (Livermore 18, elliptic wave filter) and the Table 1 random
+loops."""
+
+from repro.workloads.base import Workload
+from repro.workloads.conditional import ADAPTIVE_SOURCE, adaptive_filter
+from repro.workloads.cytron86 import cytron86
+from repro.workloads.elliptic import ELLIPTIC_SOURCE, elliptic_filter
+from repro.workloads.examples import FIG7_SOURCE, fig1, fig3, fig7
+from repro.workloads.livermore import LIVERMORE18_SOURCE, livermore18
+from repro.workloads.random_loops import (
+    paper_seeds,
+    random_cyclic_loop,
+    random_loop,
+)
+
+__all__ = [
+    "ADAPTIVE_SOURCE",
+    "ELLIPTIC_SOURCE",
+    "FIG7_SOURCE",
+    "LIVERMORE18_SOURCE",
+    "Workload",
+    "adaptive_filter",
+    "cytron86",
+    "elliptic_filter",
+    "fig1",
+    "fig3",
+    "fig7",
+    "livermore18",
+    "paper_seeds",
+    "random_cyclic_loop",
+    "random_loop",
+]
+
+
+def suite() -> dict[str, "Workload"]:
+    """All named (non-random) workloads, keyed by name.
+
+    Handy for sweeping every paper example plus the conditional
+    extension through an analysis: ``for name, w in suite().items()``.
+    """
+    workloads = [
+        fig1(),
+        fig3(),
+        fig7(),
+        cytron86(),
+        livermore18(),
+        elliptic_filter(),
+        adaptive_filter(),
+    ]
+    return {w.name: w for w in workloads}
+
+
+__all__.append("suite")

@@ -1,0 +1,34 @@
+"""Common workload container used by examples, benchmarks and the CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.graph.ddg import DependenceGraph
+from repro.lang.ast import Loop
+from repro.machine.model import Machine
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experimental subject.
+
+    ``machine`` carries the paper's parameters for the experiment the
+    workload appears in (processor budget and communication model);
+    ``paper`` records the numbers the paper reports for it, so
+    benchmarks can print paper-vs-measured side by side; ``notes``
+    flags reconstructions (see DESIGN.md substitutions).
+    """
+
+    name: str
+    graph: DependenceGraph
+    machine: Machine
+    loop: Loop | None = None
+    paper: Mapping[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        self.graph.validate()

@@ -1,0 +1,84 @@
+"""The paper's second example, "from [Cytron86]" (Figures 9 and 10).
+
+The scanned figure is illegible, so the 17-node graph is
+*reconstructed* to satisfy every property the paper states or implies:
+
+* 17 nodes (0..16) whose latencies are "not unique" and sum to 22
+  cycles (the percentage-parallelism figures 72.7% and 31.8% pin the
+  sequential body at 22 and the two steady rates at 6 and 15
+  cycles/iteration);
+* classification: Flow-in = {6..16} (11 nodes), Cyclic = {0..5}, no
+  Flow-out;
+* Flow-in size L = 16 cycles, pattern height H = 6, hence
+  ``p = ceil(L/H) = 3`` extra Flow-in processors — exactly the paper's
+  Fig. 10 split into Cyclic processors plus PE2/PE3/PE4;
+* with k = 2, our scheduler sustains 6 cycles/iteration
+  (Sp = (22-6)/22 = 72.7%) while DOACROSS's natural-order delay is 15
+  (Sp = (22-15)/22 = 31.8%).
+
+The Cyclic recurrence is a six-node unit-latency ring; the Flow-in
+region is two chains plus a small fan-out tail whose loop-carried
+dependence (13 -> 6) creates DOACROSS's delay without ever forming a
+cycle (Flow-in nodes can never be on a recurrence).
+"""
+
+from __future__ import annotations
+
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+from repro.workloads.base import Workload
+
+__all__ = ["cytron86"]
+
+#: node -> latency (sums to 22: Cyclic 6 + Flow-in 16)
+_LATENCIES = {
+    "0": 1, "1": 1, "2": 1, "3": 1, "4": 1, "5": 1,
+    "6": 2, "7": 2, "8": 2, "9": 2, "10": 1,
+    "11": 2, "12": 1, "13": 1, "14": 1, "15": 1, "16": 1,
+}
+
+
+def cytron86() -> Workload:
+    """The reconstructed Fig. 9 example (see module docstring)."""
+    g = DependenceGraph("cytron86")
+    for name, lat in _LATENCIES.items():
+        g.add_node(name, lat)
+
+    # Cyclic recurrence: unit-latency ring 0 -> 1 -> ... -> 5 -> 0(d1)
+    for a, b in zip("012345", "12345"):
+        g.add_edge(a, b)
+    g.add_edge("5", "0", distance=1)
+
+    # Flow-in chains
+    for a, b in [("6", "7"), ("7", "8"), ("8", "9"), ("9", "10")]:
+        g.add_edge(a, b)
+    for a, b in [("11", "12"), ("12", "13")]:
+        g.add_edge(a, b)
+    g.add_edge("10", "14")
+    g.add_edge("12", "15")
+    g.add_edge("14", "16")
+    # forward loop-carried dependence inside Flow-in: the source of
+    # DOACROSS's large delay (13 is late, 6 is early in any body order)
+    g.add_edge("13", "6", distance=1)
+
+    # Flow-in values feeding the Cyclic recurrence (loop-carried, so
+    # the pattern keeps its 6-cycle rate with one iteration of slack)
+    g.add_edge("6", "0", distance=1)
+    g.add_edge("8", "2", distance=1)
+
+    return Workload(
+        name="cytron86",
+        graph=g,
+        machine=Machine(processors=4, comm=UniformComm(2)),
+        paper={
+            "sp_ours": 72.7,
+            "sp_doacross": 31.8,
+            "flow_in_procs": 3.0,
+            "pattern_height": 6.0,
+        },
+        notes=(
+            "Reconstruction — the scanned Fig. 9 graph is illegible; "
+            "see module docstring for the reconstruction constraints."
+        ),
+    )

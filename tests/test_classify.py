@@ -1,0 +1,122 @@
+"""Flow-in / Cyclic / Flow-out classification (paper Fig. 2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.classify import classify
+from repro.errors import ClassificationError
+from repro.graph.ddg import DependenceGraph
+
+from tests.conftest import chain_graph, loop_graphs
+
+
+class TestFig1:
+    def test_exact_paper_classification(self, fig1_workload):
+        c = classify(fig1_workload.graph)
+        assert c.flow_in == ("A", "B", "C", "D", "F")
+        assert c.cyclic == ("E", "I", "K", "L")
+        assert c.flow_out == ("G", "H", "J")
+
+    def test_subset_lookup(self, fig1_workload):
+        c = classify(fig1_workload.graph)
+        assert c.subset_of("A") == "flow_in"
+        assert c.subset_of("L") == "cyclic"
+        assert c.subset_of("J") == "flow_out"
+        with pytest.raises(ClassificationError):
+            c.subset_of("nope")
+
+
+class TestShapes:
+    def test_pure_dag_is_doall(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B")
+        c = classify(g)
+        assert c.is_doall
+        assert c.flow_in == ("A", "B")
+
+    def test_forward_lcd_without_cycle_is_still_doall_shaped(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", distance=1)
+        c = classify(g)
+        assert c.is_doall
+        # B's only pred is Flow-in A, so B is Flow-in too
+        assert c.flow_in == ("A", "B")
+
+    def test_ring_is_all_cyclic(self):
+        c = classify(chain_graph(5))
+        assert not c.flow_in and not c.flow_out
+        assert len(c.cyclic) == 5
+
+    def test_fig3_all_cyclic(self, fig3_workload):
+        c = classify(fig3_workload.graph)
+        assert c.cyclic == tuple("ABCDEFG")
+
+    def test_cytron_counts(self, cytron_workload):
+        c = classify(cytron_workload.graph)
+        assert len(c.flow_in) == 11
+        assert len(c.cyclic) == 6
+        assert not c.flow_out
+
+    def test_elliptic_single_flow_out(self, elliptic_workload):
+        c = classify(elliptic_workload.graph)
+        assert c.flow_out == ("e34",)
+        assert not c.flow_in
+
+    def test_livermore_eight_flow_in(self, livermore_workload):
+        c = classify(livermore_workload.graph)
+        assert len(c.flow_in) == 8
+        assert not c.flow_out
+
+    def test_tail_after_cycle_is_flow_out(self):
+        g = chain_graph(3)
+        g.add_node("T")
+        g.add_edge("a2", "T")
+        c = classify(g)
+        assert c.flow_out == ("T",)
+
+    def test_head_before_cycle_is_flow_in(self):
+        g = chain_graph(3)
+        g.add_node("H")
+        g.add_edge("H", "a0")
+        c = classify(g)
+        assert c.flow_in == ("H",)
+
+
+class TestInvariants:
+    @given(loop_graphs())
+    def test_partition_and_closure_properties(self, g):
+        c = classify(g)
+        fi, cy, fo = set(c.flow_in), set(c.cyclic), set(c.flow_out)
+        # partition
+        assert fi | cy | fo == set(g.node_names())
+        assert not (fi & cy or fi & fo or cy & fo)
+        # declarative definitions
+        for n in fi:
+            preds = g.predecessors(n)
+            assert not preds or all(p.src in fi for p in preds)
+        for n in fo:
+            succs = g.successors(n)
+            assert not succs or all(s.dst in fo for s in succs)
+        for n in cy:
+            assert any(p.src not in fi for p in g.predecessors(n))
+            assert any(s.dst not in fo for s in g.successors(n))
+
+    @given(loop_graphs())
+    def test_lemma1_cyclic_contains_scc(self, g):
+        from repro.graph.algorithms import nontrivial_sccs
+
+        c = classify(g)
+        if c.cyclic:
+            assert nontrivial_sccs(g.subgraph(c.cyclic))
+
+    @given(loop_graphs())
+    def test_every_scc_node_is_cyclic(self, g):
+        from repro.graph.algorithms import nontrivial_sccs
+
+        c = classify(g)
+        on_cycles = {n for comp in nontrivial_sccs(g) for n in comp}
+        assert on_cycles <= set(c.cyclic)

@@ -1,0 +1,89 @@
+"""CLI driver smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize(
+    "cmd",
+    ["fig1", "fig3", "fig7", "fig8", "fig9", "fig11", "fig12", "codegen"],
+)
+def test_single_experiments(cmd, capsys):
+    assert main([cmd, "--iterations", "30"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_fig7_prints_paper_comparison(capsys):
+    main(["fig7", "--iterations", "50"])
+    out = capsys.readouterr().out
+    assert "paper 40.0" in out
+
+
+def test_table1_small(capsys, monkeypatch):
+    import repro.cli as cli
+    import repro.experiments as exp
+
+    # shrink the seed set so the smoke test stays fast
+    monkeypatch.setattr(
+        exp, "paper_seeds", lambda: [1, 2, 3]
+    )
+    main(["table1", "--iterations", "30"])
+    out = capsys.readouterr().out
+    assert "Table 1(b)" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_perfect_command(capsys):
+    main(["perfect"])
+    out = capsys.readouterr().out
+    assert "Perfect Pipelining" in out and "fig7" in out
+
+
+def test_schedule_command(tmp_path, capsys):
+    src = tmp_path / "loop.txt"
+    src.write_text(
+        "FOR I = 1 TO N\n"
+        "  A: S[I] = S[I-1] + X[I]\n"
+        "  B: T[I] = S[I] * 2\n"
+        "ENDFOR\n"
+    )
+    assert main(["schedule", str(src), "--processors", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "codegen verified" in out and "Sp" in out
+
+
+def test_schedule_command_with_unwinding(tmp_path, capsys):
+    src = tmp_path / "loop.txt"
+    src.write_text("A: S[I] = S[I-3] + X[I]\n")
+    assert main(["schedule", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "unwinding x3" in out
+
+
+def test_schedule_command_emit(tmp_path, capsys):
+    src = tmp_path / "loop.txt"
+    src.write_text("A: S[I] = S[I-1] + X[I]\nB: T[I] = S[I] * 2\n")
+    main(["schedule", str(src), "--emit"])
+    out = capsys.readouterr().out
+    assert "PARBEGIN" in out or "emission unavailable" in out
+
+
+def test_schedule_requires_file():
+    with pytest.raises(SystemExit):
+        main(["schedule"])
+
+
+def test_json_export_flag(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "fig7.json"
+    main(["fig7", "--iterations", "30", "--json", str(out)])
+    data = json.loads(out.read_text())
+    assert data["workload"] == "fig7"
+    assert abs(data["sp_ours"] - 40.0) < 0.5

@@ -1,0 +1,170 @@
+"""Granularity clustering (paper footnote 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._types import Op
+from repro.codegen.interp import verify_graph_dataflow
+from repro.codegen.partition import ParallelProgram
+from repro.core.scheduler import schedule_loop
+from repro.errors import GraphError
+from repro.graph.cluster import coarsen_chains
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+
+from tests.conftest import loop_graphs
+
+
+def chainy_graph():
+    """a->b->c (mergeable chain) feeding d; recurrence d -> a."""
+    g = DependenceGraph("chainy")
+    for n, lat in (("a", 1), ("b", 2), ("c", 1), ("d", 1)):
+        g.add_node(n, lat)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    g.add_edge("d", "a", distance=1)
+    return g
+
+
+class TestCoarsen:
+    def test_maximal_chain_merged(self):
+        cl = coarsen_chains(chainy_graph())
+        # the whole body is one serial chain
+        assert len(cl.coarse) == 1
+        assert cl.members["a+b+c+d"] == ("a", "b", "c", "d")
+        assert cl.coarse.latency("a+b+c+d") == 5
+        assert cl.ratio == 4.0
+
+    def test_internal_recurrence_becomes_self_loop(self):
+        cl = coarsen_chains(chainy_graph())
+        (edge,) = cl.coarse.edges
+        assert edge.src == edge.dst and edge.distance == 1
+
+    def test_max_latency_caps_clusters(self):
+        cl = coarsen_chains(chainy_graph(), max_latency=3)
+        assert all(
+            cl.coarse.latency(n) <= 3 for n in cl.coarse.node_names()
+        )
+        assert len(cl.coarse) == 2
+
+    def test_invalid_max_latency(self):
+        with pytest.raises(GraphError):
+            coarsen_chains(chainy_graph(), max_latency=0)
+
+    def test_branch_points_not_merged(self, fig7_workload):
+        # fig7: A -> B -> C is a chain; D -> E is a chain; the
+        # loop-carried edges do not block merging
+        cl = coarsen_chains(fig7_workload.graph)
+        assert set(cl.members) == {"A+B+C", "D+E"}
+
+    def test_fanout_blocks_merge(self):
+        g = DependenceGraph()
+        for n in "abc":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        cl = coarsen_chains(g)
+        assert len(cl.coarse) == 3
+
+    def test_fanin_blocks_merge(self):
+        g = DependenceGraph()
+        for n in "abc":
+            g.add_node(n)
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        cl = coarsen_chains(g)
+        assert len(cl.coarse) == 3
+
+    def test_cluster_of(self, fig7_workload):
+        cl = coarsen_chains(fig7_workload.graph)
+        assert cl.cluster_of("B") == "A+B+C"
+        with pytest.raises(GraphError):
+            cl.cluster_of("Z")
+
+
+class TestExpansion:
+    def test_expand_program_order(self, fig7_workload):
+        cl = coarsen_chains(fig7_workload.graph)
+        prog = [[Op("A+B+C", 0), Op("A+B+C", 1)], [Op("D+E", 0)]]
+        out = cl.expand_program(prog)
+        assert out[0] == [
+            Op("A", 0), Op("B", 0), Op("C", 0),
+            Op("A", 1), Op("B", 1), Op("C", 1),
+        ]
+        assert out[1] == [Op("D", 0), Op("E", 0)]
+
+    def test_expand_rejects_unknown_cluster(self, fig7_workload):
+        cl = coarsen_chains(fig7_workload.graph)
+        with pytest.raises(GraphError):
+            cl.expand_program([[Op("A", 0)]])
+
+    def test_scheduled_coarse_program_valid_on_original(self, fig7_workload):
+        g = fig7_workload.graph
+        m = Machine(2, UniformComm(2))
+        cl = coarsen_chains(g)
+        coarse_sched = schedule_loop(cl.coarse, m)
+        n = 20
+        program = cl.expand_program(coarse_sched.program(n))
+        from repro.sim.fastpath import evaluate
+
+        sched = evaluate(g, program, m.comm)
+        sched.validate(g, m.comm, iterations=n)
+        verify_graph_dataflow(
+            g, ParallelProgram(g, tuple(tuple(r) for r in program), n)
+        )
+
+    def test_clustering_helps_under_expensive_communication(self):
+        """With comm far above node latency, coarse scheduling avoids
+        chain-splitting messages and wins."""
+        from repro.metrics import sequential_time
+        from repro.sim.fastpath import evaluate
+
+        g = chainy_graph()
+        m = Machine(3, UniformComm(6))
+        n = 40
+        fine = schedule_loop(g, m)
+        fine_t = evaluate(g, fine.program(n), m.comm).makespan()
+        cl = coarsen_chains(g)
+        coarse = schedule_loop(cl.coarse, m)
+        coarse_t = evaluate(
+            g, cl.expand_program(coarse.program(n)), m.comm
+        ).makespan()
+        assert coarse_t <= fine_t
+        # a single serial chain: the coarse schedule is exactly serial
+        assert coarse_t == sequential_time(g, n)
+
+
+class TestProperties:
+    @given(loop_graphs(max_nodes=7))
+    @settings(max_examples=30)
+    def test_invariants(self, g):
+        cl = coarsen_chains(g)
+        # member sets partition the original nodes
+        all_members = [m for ms in cl.members.values() for m in ms]
+        assert sorted(all_members) == sorted(g.node_names())
+        # latency preserved
+        assert cl.coarse.total_latency() == g.total_latency()
+        # coarse body is still executable and recurrence rate can only
+        # grow (clustering serializes, never parallelizes)
+        from repro.graph.algorithms import critical_recurrence_ratio
+
+        cl.coarse.validate()
+        assert (
+            critical_recurrence_ratio(cl.coarse)
+            >= critical_recurrence_ratio(g) - 1e-6
+        )
+
+    @given(loop_graphs(max_nodes=6))
+    @settings(max_examples=25)
+    def test_expanded_schedule_always_valid(self, g):
+        m = Machine(3, UniformComm(2))
+        cl = coarsen_chains(g)
+        sched = schedule_loop(cl.coarse, m)
+        n = 6
+        program = cl.expand_program(sched.program(n))
+        from repro.sim.fastpath import evaluate
+
+        timed = evaluate(g, program, m.comm)
+        timed.validate(g, m.comm, iterations=n)

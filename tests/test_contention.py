@@ -1,0 +1,146 @@
+"""Link-contention extension of the simulated multiprocessor."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._types import Op
+from repro.core.scheduler import schedule_loop
+from repro.errors import SimulationError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.sim.engine import simulate
+
+from tests.conftest import loop_graphs
+
+
+def fanout_graph(width: int = 4):
+    """One producer, `width` consumers: a message burst on one link."""
+    g = DependenceGraph("fanout")
+    g.add_node("src", 1)
+    for i in range(width):
+        g.add_node(f"c{i}", 1)
+        g.add_edge("src", f"c{i}")
+    return g
+
+
+class TestContention:
+    def test_overlapped_burst_arrives_together(self):
+        g = fanout_graph(4)
+        order = [[Op("src", 0)], [Op(f"c{i}", 0) for i in range(4)]]
+        tr = simulate(g, order, UniformComm(3))
+        assert all(m.sent == 1 and m.arrived == 4 for m in tr.messages)
+
+    def test_capacity_one_serializes_burst(self):
+        g = fanout_graph(4)
+        order = [[Op("src", 0)], [Op(f"c{i}", 0) for i in range(4)]]
+        tr = simulate(g, order, UniformComm(3), link_capacity=1)
+        sent = sorted(m.sent for m in tr.messages)
+        assert sent == [1, 2, 3, 4]
+        # the last value arrives later than under overlapped links
+        free = simulate(g, order, UniformComm(3))
+        assert max(m.arrived for m in tr.messages) > max(
+            m.arrived for m in free.messages
+        )
+        assert tr.makespan >= free.makespan
+
+    def test_capacity_two(self):
+        g = fanout_graph(4)
+        order = [[Op("src", 0)], [Op(f"c{i}", 0) for i in range(4)]]
+        tr = simulate(g, order, UniformComm(3), link_capacity=2)
+        sent = sorted(m.sent for m in tr.messages)
+        assert sent == [1, 1, 2, 2]
+
+    def test_distinct_links_do_not_contend(self):
+        g = fanout_graph(2)
+        order = [[Op("src", 0)], [Op("c0", 0)], [Op("c1", 0)]]
+        tr = simulate(g, order, UniformComm(3), link_capacity=1)
+        assert all(m.sent == 1 for m in tr.messages)
+
+    def test_invalid_capacity(self):
+        g = fanout_graph(1)
+        with pytest.raises(SimulationError):
+            simulate(g, [[Op("src", 0)], [Op("c0", 0)]],
+                     UniformComm(1), link_capacity=0)
+
+    def test_contention_never_speeds_up(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        prog = s.program(20)
+        free = simulate(fig7_workload.graph, prog, machine2.comm)
+        tight = simulate(
+            fig7_workload.graph, prog, machine2.comm, link_capacity=1
+        )
+        assert tight.makespan >= free.makespan
+
+    @given(loop_graphs(max_nodes=5))
+    @settings(max_examples=20)
+    def test_contention_monotone_in_capacity(self, g):
+        from repro.machine.model import Machine
+
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m)
+        prog = s.program(6)
+        spans = [
+            simulate(g, prog, m.comm, link_capacity=c).makespan
+            for c in (1, 2, 4)
+        ]
+        assert spans[0] >= spans[1] >= spans[2]
+        free = simulate(g, prog, m.comm).makespan
+        assert spans[2] >= free
+
+class TestChannelFifo:
+    def _two_msgs(self, costs):
+        """p0 sends two messages to p1; per-message costs as given."""
+        from repro.graph.ddg import DependenceGraph
+        from repro.machine.comm import CommModel
+
+        g = DependenceGraph("fifo")
+        g.add_node("a1", 1)
+        g.add_node("a2", 1)
+        g.add_node("b1", 1)
+        g.add_node("b2", 1)
+        g.add_edge("a1", "b1")
+        g.add_edge("a2", "b2")
+
+        class PerMsg(CommModel):
+            def compile_cost(self, edge):
+                return max(costs.values())
+
+            def runtime_cost(self, edge, src):
+                return costs[edge.src]
+
+            def max_compile_cost(self):
+                return max(costs.values())
+
+        order = [
+            [Op("a1", 0), Op("a2", 0)],
+            [Op("b1", 0), Op("b2", 0)],
+        ]
+        return g, order, PerMsg()
+
+    def test_overtaking_allowed_by_default(self):
+        g, order, comm = self._two_msgs({"a1": 10, "a2": 1})
+        tr = simulate(g, order, comm)
+        arrive = {m.src.node: m.arrived for m in tr.messages}
+        assert arrive["a2"] < arrive["a1"]  # second message overtakes
+
+    def test_fifo_prevents_overtaking(self):
+        g, order, comm = self._two_msgs({"a1": 10, "a2": 1})
+        tr = simulate(g, order, comm, channel_fifo=True)
+        arrive = {m.src.node: m.arrived for m in tr.messages}
+        assert arrive["a2"] >= arrive["a1"]
+
+    def test_fifo_never_faster(self, fig7_workload, machine2):
+        from repro.machine.comm import FluctuatingComm
+
+        s = schedule_loop(fig7_workload.graph, machine2)
+        prog = s.program(25)
+        comm = FluctuatingComm(k=2, mm=4, mode="uniform", seed=3)
+        free = simulate(fig7_workload.graph, prog, comm)
+        fifo = simulate(fig7_workload.graph, prog, comm, channel_fifo=True)
+        assert fifo.makespan >= free.makespan
+        # and per-channel arrivals are monotone in sending order
+        per_channel = {}
+        for m in sorted(fifo.messages, key=lambda m: (m.sent, m.arrived)):
+            link = (m.src_proc, m.dst_proc)
+            assert m.arrived >= per_channel.get(link, 0)
+            per_channel[link] = m.arrived

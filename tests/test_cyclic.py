@@ -1,0 +1,183 @@
+"""Cyclic-sched (paper Fig. 4): greedy scheduling + pattern detection."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._types import Op
+from repro.core.classify import classify
+from repro.core.cyclic import ORDERINGS, schedule_cyclic
+from repro.errors import PatternNotFoundError, SchedulingError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm, ZeroComm
+from repro.machine.model import Machine
+
+from tests.conftest import chain_graph, connected_cyclic_graphs
+
+
+def cyclic_subgraph(graph):
+    return graph.subgraph(classify(graph).cyclic)
+
+
+class TestInputChecks:
+    def test_distance_over_one_rejected(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_edge("A", "A", distance=2)
+        with pytest.raises(SchedulingError, match="normalize"):
+            schedule_cyclic(g, Machine(2))
+
+    def test_non_cyclic_node_rejected(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B")
+        g.add_edge("B", "B", distance=1)
+        with pytest.raises(SchedulingError, match="Cyclic"):
+            schedule_cyclic(g, Machine(2))
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(SchedulingError, match="ordering"):
+            schedule_cyclic(
+                chain_graph(2), Machine(2), ordering="bogus"
+            )
+
+    def test_unknown_tie_break_rejected(self):
+        with pytest.raises(SchedulingError, match="tie_break"):
+            schedule_cyclic(
+                chain_graph(2), Machine(2), tie_break="bogus"
+            )
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(PatternNotFoundError):
+            schedule_cyclic(
+                chain_graph(6), Machine(4), max_instances=3
+            )
+
+
+class TestKnownPatterns:
+    def test_self_loop(self):
+        g = DependenceGraph()
+        g.add_node("A", 3)
+        g.add_edge("A", "A", distance=1)
+        r = schedule_cyclic(g, Machine(2, UniformComm(2)))
+        assert r.pattern.cycles_per_iteration() == 3.0
+
+    def test_pure_ring_runs_at_total_latency(self):
+        g = chain_graph(4, latency=2)
+        r = schedule_cyclic(g, Machine(4, UniformComm(2)))
+        assert r.pattern.cycles_per_iteration() == 8.0
+        # a serial recurrence should stay on one processor
+        assert len(r.pattern.used_processors()) == 1
+
+    def test_fig7_pattern_matches_paper(self, fig7_workload):
+        g = cyclic_subgraph(fig7_workload.graph)
+        r = schedule_cyclic(g, Machine(2, UniformComm(2)))
+        assert r.pattern.cycles_per_iteration() == pytest.approx(3.0)
+        assert r.pattern.iter_shift == 2
+        assert len(r.pattern.used_processors()) == 2
+
+    def test_zero_comm_reaches_recurrence_bound_on_fig7(self, fig7_workload):
+        from repro.graph.algorithms import critical_recurrence_ratio
+
+        g = cyclic_subgraph(fig7_workload.graph)
+        r = schedule_cyclic(g, Machine(4, ZeroComm()))
+        assert r.pattern.cycles_per_iteration() == pytest.approx(
+            critical_recurrence_ratio(g)
+        )
+
+    def test_two_independent_recurrences_overlap(self):
+        g = DependenceGraph()
+        for n in ("A", "B"):
+            g.add_node(n, 2)
+            g.add_edge(n, n, distance=1)
+        # connect weakly so it is one component: A -> B loop-carried
+        g.add_edge("A", "B", distance=1)
+        r = schedule_cyclic(g, Machine(2, UniformComm(1)))
+        # both self-loops rate 2 => pattern rate 2, two processors
+        assert r.pattern.cycles_per_iteration() == pytest.approx(2.0)
+
+    def test_stats_populated(self, fig7_workload):
+        g = cyclic_subgraph(fig7_workload.graph)
+        r = schedule_cyclic(g, Machine(2, UniformComm(2)))
+        assert r.stats.instances_scheduled > 0
+        assert r.stats.windows_hashed > 0
+        assert r.stats.unrollings >= r.pattern.iter_shift
+
+
+class TestMultiRateSCCs:
+    def multi_rate(self):
+        """Fast source SCC (rate 2) feeding a slow SCC (rate 6)."""
+        g = DependenceGraph()
+        g.add_node("f", 2)
+        g.add_edge("f", "f", distance=1)
+        for n in ("s1", "s2", "s3"):
+            g.add_node(n, 2)
+        g.add_edge("s1", "s2")
+        g.add_edge("s2", "s3")
+        g.add_edge("s3", "s1", distance=1)
+        g.add_edge("f", "s1", distance=0)
+        return g
+
+    def test_pattern_found_despite_rate_mismatch(self):
+        g = self.multi_rate()
+        r = schedule_cyclic(g, Machine(3, UniformComm(2)))
+        assert r.pattern.cycles_per_iteration() == pytest.approx(6.0)
+
+    def test_lead_bound_respected(self):
+        g = self.multi_rate()
+        r = schedule_cyclic(
+            g, Machine(3, UniformComm(2)), max_iteration_lead=3
+        )
+        # within the kernel, the fast node can be at most 3 iterations
+        # ahead of the slow ones
+        by_node = {}
+        for p in r.pattern.kernel:
+            by_node.setdefault(p.op.node, []).append(p.op.iteration)
+        spread = max(by_node["f"]) - min(by_node["s1"])
+        assert spread <= 3 + r.pattern.iter_shift
+
+
+class TestExpansionValidity:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    @pytest.mark.parametrize("tie_break", ["idle", "first"])
+    def test_fig7_expansion_validates(
+        self, fig7_workload, ordering, tie_break
+    ):
+        g = cyclic_subgraph(fig7_workload.graph)
+        m = Machine(2, UniformComm(2))
+        r = schedule_cyclic(g, m, ordering=ordering, tie_break=tie_break)
+        n = 4 * r.pattern.iter_shift + 6
+        s = r.pattern.expand(n)
+        s.validate(g, m.comm, iterations=n)
+
+    @given(connected_cyclic_graphs())
+    @settings(max_examples=40)
+    def test_random_cyclic_graphs_validate(self, g):
+        m = Machine(3, UniformComm(2))
+        r = schedule_cyclic(g, m)
+        r.pattern.check_coverage()
+        n = 3 * r.pattern.iter_shift + 2
+        s = r.pattern.expand(n)
+        s.validate(g, m.comm, iterations=n)
+
+    @given(connected_cyclic_graphs(max_nodes=4))
+    @settings(max_examples=25)
+    def test_rate_at_least_recurrence_bound(self, g):
+        from repro.graph.algorithms import critical_recurrence_ratio
+
+        m = Machine(3, UniformComm(1))
+        r = schedule_cyclic(g, m)
+        assert (
+            r.pattern.cycles_per_iteration()
+            >= critical_recurrence_ratio(g) - 1e-6
+        )
+
+    @given(connected_cyclic_graphs(max_nodes=4))
+    @settings(max_examples=25)
+    def test_rate_at_most_sequential(self, g):
+        m = Machine(3, UniformComm(1))
+        r = schedule_cyclic(g, m)
+        # greedy never does worse than fully serial execution... it can
+        # be slightly worse transiently, but the steady rate is bounded
+        # by serial-plus-max-comm per iteration.
+        assert r.pattern.cycles_per_iteration() <= g.total_latency() + 1

@@ -1,0 +1,173 @@
+"""Unit tests for the dependence-graph data structure."""
+
+import pytest
+
+from repro._types import Op
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph, Edge, Node
+
+
+def small() -> DependenceGraph:
+    g = DependenceGraph("g")
+    g.add_node("A", 1)
+    g.add_node("B", 2)
+    g.add_node("C", 3)
+    g.add_edge("A", "B")
+    g.add_edge("B", "C", distance=0)
+    g.add_edge("C", "A", distance=1)
+    return g
+
+
+class TestNodeEdge:
+    def test_node_latency_must_be_positive(self):
+        with pytest.raises(GraphError):
+            Node("x", 0)
+
+    def test_node_name_must_be_nonempty(self):
+        with pytest.raises(GraphError):
+            Node("", 1)
+
+    def test_edge_rejects_negative_distance(self):
+        with pytest.raises(GraphError):
+            Edge("a", "b", distance=-1)
+
+    def test_edge_rejects_negative_comm(self):
+        with pytest.raises(GraphError):
+            Edge("a", "b", comm=-2)
+
+    def test_edge_rejects_unknown_kind(self):
+        with pytest.raises(GraphError):
+            Edge("a", "b", kind="weird")
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        with pytest.raises(GraphError):
+            g.add_node("A")
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        with pytest.raises(GraphError, match="unknown node"):
+            g.add_edge("A", "B")
+
+    def test_zero_distance_self_edge_rejected(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        with pytest.raises(GraphError, match="self dependence"):
+            g.add_edge("A", "A", distance=0)
+
+    def test_distance_one_self_edge_allowed(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        e = g.add_edge("A", "A", distance=1)
+        assert e.distance == 1
+
+    def test_exact_duplicate_edge_rejected(self):
+        g = small()
+        with pytest.raises(GraphError, match="duplicate edge"):
+            g.add_edge("A", "B", distance=0)
+
+    def test_parallel_edges_with_distinct_distances_allowed(self):
+        g = small()
+        g.add_edge("A", "B", distance=1)
+        assert len([e for e in g.edges if e.src == "A" and e.dst == "B"]) == 2
+
+
+class TestAccessors:
+    def test_canonical_order_is_insertion_order(self):
+        g = small()
+        assert g.node_names() == ["A", "B", "C"]
+        assert [g.node_index(n) for n in g.node_names()] == [0, 1, 2]
+
+    def test_unknown_node_lookup_raises(self):
+        g = small()
+        with pytest.raises(GraphError):
+            g.node("Z")
+        with pytest.raises(GraphError):
+            g.node_index("Z")
+
+    def test_len_contains_iter(self):
+        g = small()
+        assert len(g) == 3
+        assert "A" in g and "Z" not in g
+        assert list(g) == ["A", "B", "C"]
+
+    def test_successors_predecessors(self):
+        g = small()
+        assert [e.dst for e in g.successors("A")] == ["B"]
+        assert [e.src for e in g.predecessors("A")] == ["C"]
+
+    def test_intra_neighbours_filter_distance(self):
+        g = small()
+        assert g.intra_successors("C") == []
+        assert g.intra_predecessors("B") == ["A"]
+
+    def test_max_distance_and_total_latency(self):
+        g = small()
+        assert g.max_distance() == 1
+        assert g.total_latency() == 6
+
+
+class TestInstances:
+    def test_instance_predecessors_drop_negative_iterations(self):
+        g = small()
+        assert g.instance_predecessors(Op("A", 0)) == []
+        preds = g.instance_predecessors(Op("A", 1))
+        assert [(p.node, p.iteration) for p, _ in preds] == [("C", 0)]
+
+    def test_instance_successors_shift_forward(self):
+        g = small()
+        succs = g.instance_successors(Op("C", 3))
+        assert [(s.node, s.iteration) for s, _ in succs] == [("A", 4)]
+
+    def test_instances_enumeration(self):
+        g = small()
+        ops = g.instances(2)
+        assert len(ops) == 6
+        assert ops[0] == Op("A", 0) and ops[-1] == Op("C", 1)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_internal_edges_only(self):
+        g = small()
+        sub = g.subgraph(["A", "B"])
+        assert sub.node_names() == ["A", "B"]
+        assert len(sub.edges) == 1
+
+    def test_subgraph_unknown_node_raises(self):
+        g = small()
+        with pytest.raises(GraphError):
+            g.subgraph(["A", "Z"])
+
+    def test_copy_is_independent(self):
+        g = small()
+        c = g.copy()
+        c.add_node("D")
+        assert "D" not in g
+        assert c.name == g.name
+
+    def test_with_latencies_overrides(self):
+        g = small()
+        g2 = g.with_latencies({"A": 7})
+        assert g2.latency("A") == 7
+        assert g2.latency("B") == 2
+        assert g.latency("A") == 1
+
+    def test_validate_rejects_empty_graph(self):
+        with pytest.raises(GraphError, match="no nodes"):
+            DependenceGraph("empty").validate()
+
+    def test_validate_rejects_intra_cycle(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B")
+        g.add_edge("B", "A")
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_validate_accepts_loop_carried_cycle(self):
+        small().validate()

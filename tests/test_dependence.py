@@ -1,0 +1,137 @@
+"""Dependence analysis tests."""
+
+import pytest
+
+from repro.errors import DependenceError
+from repro.lang.dependence import Dependence, analyze_dependences, build_graph
+from repro.lang.parser import parse_loop
+from repro.workloads.examples import FIG7_SOURCE
+
+
+def deps_of(src: str, kind: str | None = None) -> set[tuple]:
+    loop = parse_loop(src)
+    out = analyze_dependences(loop)
+    return {
+        (d.src, d.dst, d.distance, d.kind)
+        for d in out
+        if kind is None or d.kind == kind
+    }
+
+
+class TestFlowDeps:
+    def test_fig7_exact_flow_set(self):
+        loop = parse_loop(FIG7_SOURCE)
+        flow = {
+            (d.src, d.dst, d.distance)
+            for d in analyze_dependences(loop)
+            if d.kind == "flow"
+        }
+        assert flow == {
+            ("A", "A", 1),
+            ("E", "A", 1),
+            ("A", "B", 0),
+            ("B", "C", 0),
+            ("D", "D", 1),
+            ("C", "D", 1),
+            ("D", "E", 0),
+        }
+
+    def test_same_iteration_requires_textual_order(self):
+        # t reads A[I] before s writes it -> no flow, only anti
+        deps = deps_of("T: Y[I] = A[I]\nS: A[I] = 1")
+        assert ("S", "T", 0, "flow") not in deps
+        assert ("T", "S", 0, "anti") in deps
+
+    def test_loop_carried_distance_from_offsets(self):
+        deps = deps_of("S: A[I] = 1\nT: Y[I] = A[I-3]")
+        assert ("S", "T", 3, "flow") in deps
+
+    def test_write_offset_positive(self):
+        deps = deps_of("S: A[I+1] = 1\nT: Y[I] = A[I]")
+        assert ("S", "T", 1, "flow") in deps
+
+    def test_read_only_arrays_produce_no_deps(self):
+        assert deps_of("X[I] = ZP[I] + ZQ[I-1]") == set()
+
+    def test_self_accumulation_array_is_live_in(self):
+        # X[I] written once; the same-statement read of X[I] sees the
+        # live-in value, not a dependence.
+        deps = deps_of("S: X[I] = X[I] + 1")
+        assert deps == set()
+
+
+class TestScalarDeps:
+    def test_scalar_accumulation(self):
+        deps = deps_of("S: s = s + X[I]")
+        assert ("S", "S", 1, "flow") in deps
+
+    def test_scalar_read_before_write(self):
+        deps = deps_of("T: Y[I] = s\nS: s = X[I]")
+        assert ("S", "T", 1, "flow") in deps
+        assert ("T", "S", 0, "anti") in deps
+
+    def test_scalar_write_then_read(self):
+        deps = deps_of("S: s = X[I]\nT: Y[I] = s")
+        assert ("S", "T", 0, "flow") in deps
+
+    def test_scalar_array_conflict_rejected(self):
+        with pytest.raises(DependenceError, match="both"):
+            analyze_dependences(parse_loop("S: s = 1\nT: Y[I] = s[I]"))
+
+
+class TestAntiOutput:
+    def test_anti_distance(self):
+        deps = deps_of("T: Y[I] = A[I+2]\nS: A[I] = 1")
+        assert ("T", "S", 2, "anti") in deps
+
+    def test_output_dependence(self):
+        deps = deps_of("S1: A[I] = 1\nS2: A[I] = 2")
+        assert ("S1", "S2", 0, "output") in deps
+
+    def test_output_distance(self):
+        deps = deps_of("S1: A[I+1] = 1\nS2: A[I] = 2")
+        assert ("S1", "S2", 1, "output") in deps
+
+
+class TestBuildGraph:
+    def test_nodes_carry_latencies(self):
+        g = build_graph(parse_loop("M{2}: X[I] = X[I-1] * 2"))
+        assert g.latency("M") == 2
+
+    def test_flow_only_by_default(self):
+        g = build_graph(parse_loop("T: Y[I] = A[I]\nS: A[I+1] = Y[I]"))
+        kinds = {e.kind for e in g.edges}
+        assert kinds <= {"flow"}
+
+    def test_include_anti_output(self):
+        g = build_graph(
+            parse_loop("T: Y[I] = A[I+1]\nS: A[I] = Y[I-1]"),
+            include_anti=True,
+            include_output=True,
+        )
+        kinds = {e.kind for e in g.edges}
+        assert "anti" in kinds
+
+    def test_latency_override(self):
+        g = build_graph(
+            parse_loop("M: X[I] = X[I-1]"), latencies={"M": 5}
+        )
+        assert g.latency("M") == 5
+
+    def test_max_distance_filter(self):
+        loop = parse_loop("S: A[I] = 1\nT: Y[I] = A[I-9]")
+        far = analyze_dependences(loop, max_distance=3)
+        assert all(d.distance <= 3 for d in far)
+
+    def test_guard_dependence_materialized(self):
+        from repro.lang.ifconvert import if_convert
+
+        loop = if_convert(
+            parse_loop("IF X[I-1] > 0 THEN\n A: Y[I] = 1\nENDIF")
+        )
+        g = build_graph(loop)
+        pred_label = [n for n in g.node_names() if n.startswith("P")][0]
+        assert any(
+            e.src == pred_label and e.dst == "A" and e.distance == 0
+            for e in g.edges
+        )

@@ -1,0 +1,126 @@
+"""DOACROSS baseline (Cytron 1986)."""
+
+import pytest
+
+from repro._types import Op
+from repro.baselines.doacross import doacross_delay, schedule_doacross
+from repro.errors import SchedulingError
+from repro.machine.comm import UniformComm, ZeroComm
+from repro.machine.model import Machine
+from repro.metrics import sequential_time
+
+from tests.conftest import chain_graph
+
+
+class TestDelay:
+    def test_fig7_natural_delay(self, fig7_workload):
+        m = Machine(4, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m)
+        # E finishes at offset 5, +k 2, A starts at 0: delay 7
+        assert da.delay == 7
+
+    def test_fig7_optimal_reorder_delay(self, fig7_workload):
+        m = Machine(4, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m, reorder="exhaustive")
+        # paper Fig. 8(b): even the best order cannot beat the body (5)
+        assert da.delay >= fig7_workload.graph.total_latency()
+        assert da.delay == 6
+
+    def test_zero_comm_ring_delay(self):
+        g = chain_graph(3)
+        da = schedule_doacross(g, Machine(2, ZeroComm()))
+        # a2 finishes at 3, a0 starts at 0 -> delay 3 = body: serial
+        assert da.delay == 3
+
+    def test_distance_divides_delay(self):
+        from repro.graph.ddg import DependenceGraph
+
+        g = DependenceGraph()
+        g.add_node("A", 4)
+        g.add_edge("A", "A", distance=2)
+        da = schedule_doacross(g, Machine(2, UniformComm(2)))
+        # (4 + 2) / distance 2 = 3
+        assert da.delay == 3
+
+    def test_doall_has_zero_delay(self):
+        from repro.graph.ddg import DependenceGraph
+
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B")
+        assert schedule_doacross(g, Machine(2, UniformComm(2))).delay == 0
+
+
+class TestProgram:
+    def test_round_robin_assignment(self, fig7_workload):
+        m = Machine(3, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m)
+        rows = da.program(7)
+        for r, row in enumerate(rows):
+            assert {op.iteration % 3 for op in row} <= {r}
+
+    def test_program_validates(self, fig7_workload):
+        m = Machine(3, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m)
+        n = 12
+        sched = da.compile_schedule(n)
+        sched.validate(fig7_workload.graph, m.comm, iterations=n)
+
+    def test_fig7_no_speedup(self, fig7_workload):
+        m = Machine(4, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m)
+        n = 50
+        assert da.compile_schedule(n).makespan() >= sequential_time(
+            fig7_workload.graph, n
+        )
+
+    def test_steady_rate_formula(self, fig7_workload):
+        m = Machine(4, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m)
+        assert da.steady_cycles_per_iteration() == 7.0
+
+    def test_processor_bound_rate(self):
+        g = chain_graph(2)
+        g2 = g.copy()
+        da = schedule_doacross(g2, Machine(1, ZeroComm()))
+        # single processor: body-bound
+        assert da.steady_cycles_per_iteration() == 2.0
+
+    def test_negative_iterations_rejected(self, fig7_workload):
+        da = schedule_doacross(fig7_workload.graph, Machine(2))
+        with pytest.raises(SchedulingError):
+            da.program(-1)
+
+    def test_describe(self, fig7_workload):
+        da = schedule_doacross(fig7_workload.graph, Machine(2))
+        assert "DOACROSS" in da.describe()
+
+
+class TestBodyOrders:
+    def test_explicit_body_order(self, fig7_workload):
+        m = Machine(2, UniformComm(2))
+        da = schedule_doacross(
+            fig7_workload.graph, m, body_order=["A", "B", "D", "C", "E"]
+        )
+        assert da.body_order == ("A", "B", "D", "C", "E")
+
+    def test_illegal_body_order_rejected(self, fig7_workload):
+        m = Machine(2, UniformComm(2))
+        with pytest.raises(SchedulingError, match="violates"):
+            schedule_doacross(
+                fig7_workload.graph, m, body_order=["B", "A", "C", "D", "E"]
+            )
+
+    def test_body_order_must_be_permutation(self, fig7_workload):
+        m = Machine(2, UniformComm(2))
+        with pytest.raises(SchedulingError, match="permutation"):
+            schedule_doacross(
+                fig7_workload.graph, m, body_order=["A", "B", "C"]
+            )
+
+    def test_unknown_reorder_mode(self, fig7_workload):
+        with pytest.raises(SchedulingError, match="reorder"):
+            schedule_doacross(
+                fig7_workload.graph, Machine(2), reorder="magic"
+            )

@@ -1,0 +1,48 @@
+"""DOT export."""
+
+from repro.core.classify import classify
+from repro.graph.dot import to_dot
+from repro.workloads import fig1, fig7
+
+
+class TestDot:
+    def test_structure(self):
+        w = fig7()
+        dot = to_dot(w.graph)
+        assert dot.startswith('digraph "fig7"')
+        assert dot.rstrip().endswith("}")
+        assert '"A" -> "B";' in dot
+
+    def test_loop_carried_edges_dashed_and_labelled(self):
+        dot = to_dot(fig7().graph)
+        assert 'style=dashed, label="1"' in dot
+
+    def test_latency_labels(self):
+        from repro.workloads import livermore18
+
+        dot = to_dot(livermore18().graph)
+        assert "(2)" in dot  # multiply latency shown
+
+    def test_classification_colours(self):
+        w = fig1()
+        dot = to_dot(w.graph, classification=classify(w.graph))
+        assert dot.count("fillcolor=") >= len(w.graph)
+        assert "legend" in dot
+
+    def test_quoting(self):
+        from repro.graph.ddg import DependenceGraph
+
+        g = DependenceGraph('we"ird')
+        g.add_node("n")
+        dot = to_dot(g)
+        assert r"we\"ird" in dot
+
+    def test_anti_edges_greyed(self):
+        from repro.lang import build_graph, parse_loop
+
+        g = build_graph(
+            parse_loop("T: Y[I] = A[I+1]\nS: A[I] = 1"),
+            include_anti=True,
+        )
+        dot = to_dot(g)
+        assert 'xlabel="anti"' in dot

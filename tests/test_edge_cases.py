@@ -1,0 +1,119 @@
+"""Assorted edge cases across modules."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._types import Op
+from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_loop
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+from repro.report import gantt
+
+from tests.conftest import connected_cyclic_graphs
+
+
+class TestScheduleEdges:
+    def test_empty_schedule_metrics(self):
+        s = Schedule(2)
+        assert s.makespan() == 0
+        assert s.utilization() == 0.0
+        assert s.used_processors() == []
+        assert s.placements() == []
+
+    def test_order_of_empty_processors(self):
+        s = Schedule(3)
+        s.add(Op("A", 0), 1, 0, 1)
+
+        g = DependenceGraph()
+        g.add_node("A")
+        s.validate(g)
+        assert s.order() == [[], [Op("A", 0)], []]
+
+
+class TestGanttEdges:
+    def test_empty_schedule_renders_header_only(self):
+        text = gantt(Schedule(2))
+        assert text.splitlines()[0].strip().startswith("cycle")
+        assert len(text.splitlines()) == 1
+
+    def test_cell_width_trims_labels(self):
+        s = Schedule(1)
+        s.add(Op("LONGNODENAME", 0), 0, 0, 1)
+        text = gantt(s, cell_width=4)
+        assert "LONG" in text and "LONGN" not in text
+
+
+class TestLatencyMonotonicity:
+    @given(connected_cyclic_graphs(max_nodes=4))
+    @settings(max_examples=20)
+    def test_increasing_a_latency_never_speeds_up(self, g):
+        """Raising one node's latency can only slow the steady rate."""
+        m = Machine(3, UniformComm(1))
+        base = schedule_loop(g, m)
+        bumped_graph = g.with_latencies(
+            {g.node_names()[0]: g.latency(g.node_names()[0]) + 2}
+        )
+        bumped = schedule_loop(bumped_graph, m)
+        n = 10
+        assert (
+            bumped.compile_schedule(n).makespan() + 1e-9
+            >= base.compile_schedule(n).makespan() - 2 * n
+        )
+        # steady rates strictly ordered by the work bound argument when
+        # the graph is a single serial chain; in general allow equality
+        assert (
+            bumped.steady_cycles_per_iteration()
+            >= base.steady_cycles_per_iteration() - 1e-9
+        )
+
+
+class TestMoreProcessorsNeverHurtCompletely:
+    @given(connected_cyclic_graphs(max_nodes=4))
+    @settings(max_examples=15)
+    def test_single_processor_is_serial(self, g):
+        m = Machine(1, UniformComm(2))
+        s = schedule_loop(g, m)
+        assert s.steady_cycles_per_iteration() == pytest.approx(
+            float(g.total_latency())
+        )
+        n = 7
+        assert s.compile_schedule(n).makespan() == n * g.total_latency()
+
+
+class TestDoacrossEdge:
+    def test_explicit_body_order_beats_reorder_flag(self, fig7_workload):
+        from repro.baselines.doacross import schedule_doacross
+
+        m = Machine(2, UniformComm(2))
+        da = schedule_doacross(
+            fig7_workload.graph,
+            m,
+            body_order=["A", "B", "C", "D", "E"],
+            reorder="exhaustive",  # ignored: explicit order wins
+        )
+        assert da.body_order == ("A", "B", "C", "D", "E")
+
+    def test_single_iteration_program(self, fig7_workload):
+        from repro.baselines.doacross import schedule_doacross
+
+        m = Machine(3, UniformComm(2))
+        da = schedule_doacross(fig7_workload.graph, m)
+        sched = da.compile_schedule(1)
+        sched.validate(fig7_workload.graph, m.comm, iterations=1)
+        assert sched.makespan() == 5
+
+
+class TestWorkloadBase:
+    def test_workload_validates_graph_on_construction(self):
+        from repro.machine.model import Machine
+        from repro.workloads.base import Workload
+
+        g = DependenceGraph("bad")
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B")
+        g.add_edge("B", "A")  # intra-iteration cycle
+        with pytest.raises(Exception):
+            Workload(name="bad", graph=g, machine=Machine(2))

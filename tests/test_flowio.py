@@ -1,0 +1,123 @@
+"""Flow-in/Flow-out planning (paper Fig. 5 + Section 3 folding)."""
+
+import pytest
+
+from repro._types import Op
+from repro.core.classify import classify
+from repro.core.cyclic import schedule_cyclic
+from repro.core.flowio import (
+    kernel_idle,
+    noncyclic_program,
+    plan_noncyclic,
+    subset_latency,
+    subset_order,
+)
+from repro.errors import SchedulingError
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+
+
+def cytron_parts(w):
+    c = classify(w.graph)
+    cyclic = w.graph.subgraph(c.cyclic)
+    r = schedule_cyclic(cyclic, w.machine)
+    return c, r.pattern
+
+
+class TestPaperFormula:
+    def test_cytron_l_and_h(self, cytron_workload):
+        c, pattern = cytron_parts(cytron_workload)
+        assert subset_latency(cytron_workload.graph, c.flow_in) == 16
+        assert pattern.height == 6
+
+    def test_cytron_three_flow_in_procs(self, cytron_workload):
+        c, pattern = cytron_parts(cytron_workload)
+        plan = plan_noncyclic(cytron_workload.graph, c, pattern)
+        # paper: p = ceil(L/H) = ceil(16/6) = 3
+        assert plan.flow_in_procs == 3
+        assert plan.flow_out_procs == 0
+        assert plan.fold_into is None  # ring kernel has no idle slack
+        assert plan.extra_processors == 3
+
+    def test_unknown_folding_mode(self, cytron_workload):
+        c, pattern = cytron_parts(cytron_workload)
+        with pytest.raises(SchedulingError):
+            plan_noncyclic(
+                cytron_workload.graph, c, pattern, folding="maybe"
+            )
+
+    def test_force_folding(self, cytron_workload):
+        c, pattern = cytron_parts(cytron_workload)
+        plan = plan_noncyclic(
+            cytron_workload.graph, c, pattern, folding="always"
+        )
+        assert plan.fold_into is not None
+        assert plan.extra_processors == 0
+
+    def test_never_folding(self, livermore_workload):
+        w = livermore_workload
+        c = classify(w.graph)
+        r = schedule_cyclic(w.graph.subgraph(c.cyclic), w.machine)
+        plan = plan_noncyclic(w.graph, c, r.pattern, folding="never")
+        assert plan.fold_into is None
+        assert plan.flow_in_procs >= 1
+
+    def test_auto_folds_when_idle(self, livermore_workload):
+        w = livermore_workload
+        c = classify(w.graph)
+        r = schedule_cyclic(w.graph.subgraph(c.cyclic), w.machine)
+        plan = plan_noncyclic(w.graph, c, r.pattern, folding="auto")
+        l_fi = subset_latency(w.graph, c.flow_in)
+        best = max(kernel_idle(r.pattern, j) for j in r.pattern.used_processors())
+        if best >= l_fi * r.pattern.iter_shift:
+            assert plan.fold_into is not None
+
+
+class TestSubsetOrder:
+    def test_topological_wrt_intra_edges(self, cytron_workload):
+        g = cytron_workload.graph
+        c = classify(g)
+        order = subset_order(g, c.flow_in)
+        pos = {n: i for i, n in enumerate(order)}
+        for e in g.edges:
+            if e.distance == 0 and e.src in pos and e.dst in pos:
+                assert pos[e.src] < pos[e.dst]
+
+    def test_lcd_sinks_pushed_late(self, cytron_workload):
+        g = cytron_workload.graph
+        c = classify(g)
+        order = subset_order(g, c.flow_in)
+        pos = {n: i for i, n in enumerate(order)}
+        # node 13 is the lcd source (early), node 6 the lcd sink (late)
+        assert pos["13"] < pos["6"]
+
+    def test_empty_subset(self, cytron_workload):
+        assert subset_order(cytron_workload.graph, ()) == []
+
+
+class TestNoncyclicProgram:
+    def test_mod_p_interleaving(self, cytron_workload):
+        g = cytron_workload.graph
+        c = classify(g)
+        rows = noncyclic_program(g, c.flow_in, iterations=7, procs=3)
+        assert len(rows) == 3
+        for r, row in enumerate(rows):
+            iters = sorted({op.iteration for op in row})
+            assert iters == [i for i in range(7) if i % 3 == r]
+
+    def test_order_is_dependence_consistent_per_proc(self, cytron_workload):
+        g = cytron_workload.graph
+        c = classify(g)
+        rows = noncyclic_program(g, c.flow_in, iterations=9, procs=3)
+        for row in rows:
+            pos = {op: i for i, op in enumerate(row)}
+            for op in row:
+                for pred, _e in g.instance_predecessors(op):
+                    if pred in pos:
+                        assert pos[pred] < pos[op]
+
+    def test_requires_processor(self, cytron_workload):
+        g = cytron_workload.graph
+        c = classify(g)
+        with pytest.raises(SchedulingError):
+            noncyclic_program(g, c.flow_in, 3, 0)

@@ -1,0 +1,94 @@
+"""Folded-program construction invariants (Section 3 heuristic)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._types import Op
+from repro.core.classify import classify
+from repro.core.scheduler import schedule_loop
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+
+from tests.conftest import loop_graphs
+
+
+def folded(workload, iterations=12):
+    s = schedule_loop(workload.graph, workload.machine, folding="always")
+    assert s.plan is not None and s.plan.fold_into is not None
+    return s, s.program(iterations)
+
+
+class TestFoldedProgram:
+    def test_noncyclic_ops_land_on_fold_processor(self, livermore_workload):
+        w = livermore_workload
+        s, prog = folded(w)
+        c = classify(w.graph)
+        used = s.cyclic_processors
+        compact = {orig: i for i, orig in enumerate(used)}
+        fold = compact[s.plan.fold_into]
+        noncyclic = set(c.flow_in) | set(c.flow_out)
+        for j, row in enumerate(prog):
+            for op in row:
+                if op.node in noncyclic:
+                    assert j == fold
+
+    def test_per_processor_order_respects_dependences(
+        self, livermore_workload
+    ):
+        w = livermore_workload
+        _, prog = folded(w)
+        for row in prog:
+            pos = {op: i for i, op in enumerate(row)}
+            for op in row:
+                for pred, _e in w.graph.instance_predecessors(op):
+                    if pred in pos:
+                        assert pos[pred] < pos[op], (pred, op)
+
+    def test_cyclic_subsequence_preserved(self, livermore_workload):
+        """Folding inserts non-cyclic ops but never reorders the
+        pattern's own per-processor sequences."""
+        w = livermore_workload
+        s, prog = folded(w, iterations=10)
+        plain = schedule_loop(w.graph, w.machine, folding="never")
+        plain_prog = plain.program(10)
+        c = classify(w.graph)
+        cyclic = set(c.cyclic)
+        for j in range(len(s.cyclic_processors)):
+            folded_cyclic = [op for op in prog[j] if op.node in cyclic]
+            assert folded_cyclic == [
+                op for op in plain_prog[j] if op.node in cyclic
+            ]
+
+    def test_all_instances_present_once(self, livermore_workload):
+        w = livermore_workload
+        _, prog = folded(w, iterations=9)
+        ops = [op for row in prog for op in row]
+        assert sorted(ops) == sorted(w.graph.instances(9))
+
+    def test_flow_out_only_graph_folds(self):
+        g = DependenceGraph("fo")
+        g.add_node("x", 1)
+        g.add_node("y", 2)
+        g.add_node("out", 1)
+        g.add_edge("x", "y")
+        g.add_edge("y", "x", distance=1)
+        g.add_edge("y", "out")
+        m = Machine(2, UniformComm(1))
+        s = schedule_loop(g, m, folding="always")
+        n = 8
+        sched = s.compile_schedule(n)
+        sched.validate(g, m.comm, iterations=n)
+
+    @given(loop_graphs(max_nodes=6, ensure_recurrence=True))
+    @settings(max_examples=25)
+    def test_forced_folding_always_valid(self, g):
+        from repro.core.scheduler import CombinedLoop
+
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m, folding="always")
+        n = 6
+        sched = s.compile_schedule(n)
+        sched.validate(g, m.comm, iterations=n)
+        if not isinstance(s, CombinedLoop) and s.plan is not None:
+            assert s.plan.extra_processors == 0

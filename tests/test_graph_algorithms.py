@@ -1,0 +1,169 @@
+"""Graph algorithms, cross-checked against networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graph.algorithms import (
+    connected_components,
+    critical_recurrence_ratio,
+    is_doall,
+    longest_intra_path,
+    nontrivial_sccs,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.graph.ddg import DependenceGraph
+
+from tests.conftest import chain_graph, loop_graphs
+
+
+def to_networkx(g: DependenceGraph) -> nx.MultiDiGraph:
+    nxg = nx.MultiDiGraph()
+    nxg.add_nodes_from(g.node_names())
+    for e in g.edges:
+        nxg.add_edge(e.src, e.dst, distance=e.distance)
+    return nxg
+
+
+class TestTopologicalOrder:
+    def test_respects_intra_edges(self, fig7_workload):
+        g = fig7_workload.graph
+        order = topological_order(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for e in g.edges:
+            if e.distance == 0:
+                assert pos[e.src] < pos[e.dst]
+
+    def test_deterministic_canonical_ties(self):
+        g = DependenceGraph()
+        for n in "CBA":
+            g.add_node(n)
+        assert topological_order(g) == ["C", "B", "A"]
+
+    def test_full_order_raises_on_any_cycle(self):
+        g = chain_graph(3)
+        with pytest.raises(GraphError):
+            topological_order(g, intra_only=False)
+
+    def test_full_order_on_dag(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B", distance=1)
+        assert topological_order(g, intra_only=False) == ["A", "B"]
+
+    @given(loop_graphs())
+    def test_matches_networkx_topological_property(self, g):
+        order = topological_order(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for e in g.edges:
+            if e.distance == 0:
+                assert pos[e.src] < pos[e.dst]
+        assert sorted(order) == sorted(g.node_names())
+
+
+class TestComponents:
+    def test_single_component(self, fig7_workload):
+        comps = connected_components(fig7_workload.graph)
+        assert len(comps) == 1
+
+    def test_two_components(self):
+        g = DependenceGraph()
+        for n in "ABCD":
+            g.add_node(n)
+        g.add_edge("A", "B")
+        g.add_edge("C", "D")
+        assert connected_components(g) == [["A", "B"], ["C", "D"]]
+
+    @given(loop_graphs())
+    def test_matches_networkx(self, g):
+        ours = {frozenset(c) for c in connected_components(g)}
+        theirs = {
+            frozenset(c)
+            for c in nx.weakly_connected_components(to_networkx(g))
+        }
+        assert ours == theirs
+
+
+class TestSCC:
+    def test_fig1_sccs(self, fig1_workload):
+        sccs = nontrivial_sccs(fig1_workload.graph)
+        assert sorted(map(tuple, sccs)) == [("E", "I"), ("L",)]
+
+    def test_self_loop_is_nontrivial(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_edge("A", "A", distance=1)
+        assert nontrivial_sccs(g) == [["A"]]
+
+    @given(loop_graphs())
+    def test_matches_networkx(self, g):
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {
+            frozenset(c)
+            for c in nx.strongly_connected_components(to_networkx(g))
+        }
+        assert ours == theirs
+
+    @given(loop_graphs())
+    def test_is_doall_iff_no_cycle(self, g):
+        nxg = to_networkx(g)
+        has_cycle = not nx.is_directed_acyclic_graph(nxg)
+        assert is_doall(g) == (not has_cycle)
+
+
+class TestRecurrenceRatio:
+    def test_doall_is_zero(self):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_node("B")
+        g.add_edge("A", "B")
+        assert critical_recurrence_ratio(g) == 0.0
+
+    def test_simple_ring(self):
+        g = chain_graph(4, latency=1)
+        assert critical_recurrence_ratio(g) == pytest.approx(4.0, abs=1e-6)
+
+    def test_self_loop_rate_is_latency(self):
+        g = DependenceGraph()
+        g.add_node("A", 3)
+        g.add_edge("A", "A", distance=1)
+        assert critical_recurrence_ratio(g) == pytest.approx(3.0, abs=1e-6)
+
+    def test_two_distance_cycle_halves_rate(self):
+        g = DependenceGraph()
+        g.add_node("A", 2)
+        g.add_node("B", 2)
+        g.add_edge("A", "B")
+        g.add_edge("B", "A", distance=1)
+        g.add_edge("B", "A", distance=2)  # slack recurrence, rate 2
+        # tight cycle A->B->A(d1): (2+2)/1 = 4
+        assert critical_recurrence_ratio(g) == pytest.approx(4.0, abs=1e-6)
+
+    def test_fig7_value(self, fig7_workload):
+        # cycle A->B->C->(d1)->D->E->(d1)->A: latency 5 over distance 2
+        assert critical_recurrence_ratio(
+            fig7_workload.graph
+        ) == pytest.approx(2.5, abs=1e-6)
+
+    @given(loop_graphs(ensure_recurrence=True))
+    def test_bounded_by_total_latency(self, g):
+        r = critical_recurrence_ratio(g)
+        assert 0.0 <= r <= g.total_latency() + 1e-6
+
+
+class TestLongestIntraPath:
+    def test_chain(self):
+        g = chain_graph(4, latency=2)
+        assert longest_intra_path(g) == 8
+
+    def test_custom_weight(self):
+        g = chain_graph(3, latency=2)
+        assert longest_intra_path(g, weight=lambda n: 1) == 3
+
+    def test_single_node(self):
+        g = DependenceGraph()
+        g.add_node("A", 5)
+        assert longest_intra_path(g) == 5

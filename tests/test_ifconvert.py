@@ -1,0 +1,140 @@
+"""If-conversion: structure and semantic equivalence."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lang.ast import Assign, Select
+from repro.lang.ifconvert import if_convert
+from repro.lang.interp import Store, run_loop
+from repro.lang.parser import parse_loop
+
+
+COND_LOOP = """
+FOR I = 1 TO N
+  A: X[I] = X[I-1] + 1
+  IF X[I-1] > 1.5 THEN
+    B: Y[I] = X[I] * 2
+  ELSE
+    C: Y[I] = X[I] + Z[I-1]
+  ENDIF
+  D: Z[I] = Y[I] + Z[I-1]
+ENDFOR
+"""
+
+
+class TestStructure:
+    def test_no_conditionals_left(self):
+        loop = if_convert(parse_loop(COND_LOOP))
+        assert not loop.has_conditionals()
+
+    def test_idempotent_on_straightline(self):
+        loop = parse_loop("A: X[I] = 1")
+        out = if_convert(loop)
+        assert out.labels() == ["A"]
+
+    def test_predicates_added(self):
+        loop = if_convert(parse_loop(COND_LOOP))
+        labels = loop.labels()
+        preds = [l for l in labels if l.startswith("P")]
+        assert len(preds) == 2  # then-predicate and else-predicate
+
+    def test_guarded_statements_become_selects(self):
+        loop = if_convert(parse_loop(COND_LOOP))
+        b = next(a for a in loop.assignments() if a.label == "B")
+        assert isinstance(b.expr, Select)
+        assert b.guard is not None
+
+    def test_fresh_names_avoid_collisions(self):
+        src = """
+        P0: X[I] = 1
+        IF X[I-1] > 0 THEN
+          A: Y[I] = 2
+        ENDIF
+        """
+        loop = if_convert(parse_loop(src))
+        labels = loop.labels()
+        assert len(labels) == len(set(labels))
+
+    def test_nested_conditionals_conjoin_predicates(self):
+        src = """
+        IF X[I-1] > 0 THEN
+          IF X[I-1] > 2 THEN
+            A: Y[I] = 1
+          ELSE
+            B: Y[I] = 2
+          ENDIF
+        ENDIF
+        """
+        loop = if_convert(parse_loop(src))
+        assert not loop.has_conditionals()
+        preds = [l for l in loop.labels() if l.startswith("P")]
+        assert len(preds) == 3
+
+
+class TestSemantics:
+    def _equivalent(self, src: str, iterations: int = 8) -> None:
+        original = parse_loop(src)
+        converted = if_convert(original)
+        seq = run_loop(original, iterations)
+        conv = run_loop(converted, iterations)
+        for key, value in seq.arrays.items():
+            assert conv.arrays[key] == value, key
+
+    def test_then_else(self):
+        self._equivalent(COND_LOOP)
+
+    def test_then_only(self):
+        self._equivalent(
+            """
+            A: X[I] = X[I-1] + 1
+            IF X[I-1] > 1.2 THEN
+              B: X2[I] = X[I] * 3
+            ENDIF
+            C: Y[I] = X2[I-1] + 1
+            """
+        )
+
+    def test_nested(self):
+        self._equivalent(
+            """
+            A: X[I] = X[I-1] + 0.3
+            IF X[I-1] > 1.5 THEN
+              IF X[I-1] > 2.5 THEN
+                B: Y[I] = 1
+              ELSE
+                C: Y[I] = 2
+              ENDIF
+            ELSE
+              D: Y[I] = 3
+            ENDIF
+            E: W[I] = Y[I] + W[I-1]
+            """
+        )
+
+    def test_guarded_scalar(self):
+        self._equivalent(
+            """
+            A: s = s + X[I-1]
+            IF s > 2 THEN
+              B: s = s - 1
+            ENDIF
+            C: OUT[I] = s
+            """
+        )
+
+    @given(st.floats(min_value=0.5, max_value=3.0), st.integers(2, 12))
+    def test_threshold_family(self, threshold, iterations):
+        src = f"""
+        A: X[I] = X[I-1] + 0.4
+        IF X[I-1] > {threshold} THEN
+          B: Y[I] = X[I] * 2
+        ELSE
+          C: Y[I] = 0 - X[I]
+        ENDIF
+        """
+        original = parse_loop(src)
+        converted = if_convert(original)
+        seq = run_loop(original, iterations)
+        conv = run_loop(converted, iterations)
+        for key, value in seq.arrays.items():
+            assert conv.arrays[key] == value

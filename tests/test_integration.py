@@ -1,0 +1,76 @@
+"""Whole-pipeline integration: every named workload, every stage."""
+
+import pytest
+
+from repro.codegen import partition, verify_against_sequential, verify_graph_dataflow
+from repro.core.classify import classify
+from repro.core.scheduler import CombinedLoop, schedule_loop
+from repro.machine.comm import FluctuatingComm
+from repro.metrics import percentage_parallelism, sequential_time
+from repro.report import compile_report
+from repro.sim import evaluate, simulate, trace_stats
+from repro.workloads import suite
+
+WORKLOADS = sorted(suite())
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestPipeline:
+    @pytest.fixture()
+    def workload(self, name):
+        return suite()[name]
+
+    def test_classify_and_schedule(self, workload):
+        c = classify(workload.graph)
+        s = schedule_loop(workload.graph, workload.machine)
+        n = 20
+        sched = s.compile_schedule(n)
+        sched.validate(workload.graph, workload.machine.comm, iterations=n)
+        if c.is_doall:
+            assert getattr(s, "pattern", None) is None
+
+    def test_simulators_agree(self, workload):
+        s = schedule_loop(workload.graph, workload.machine)
+        prog = s.program(12)
+        fast = evaluate(workload.graph, prog, workload.machine.comm)
+        slow = simulate(
+            workload.graph, prog, workload.machine.comm, use_runtime=False
+        )
+        assert fast.makespan() == slow.schedule.makespan()
+        stats = trace_stats(slow)
+        assert stats.makespan == fast.makespan()
+
+    def test_dataflow_routing(self, workload):
+        s = schedule_loop(workload.graph, workload.machine)
+        prog = partition(s, 8)
+        verify_graph_dataflow(workload.graph, prog)
+        if workload.loop is not None:
+            verify_against_sequential(workload.loop, prog)
+
+    def test_fluctuation_only_slows(self, workload):
+        s = schedule_loop(workload.graph, workload.machine)
+        prog = s.program(15)
+        base = evaluate(
+            workload.graph, prog, workload.machine.comm
+        ).makespan()
+        shaky = FluctuatingComm(
+            k=workload.machine.k, mm=4, mode="worst"
+        )
+        worst = evaluate(
+            workload.graph, prog, shaky, use_runtime=True
+        ).makespan()
+        assert worst >= base
+
+    def test_report_renders(self, workload):
+        s = schedule_loop(workload.graph, workload.machine)
+        text = compile_report(s, workload.loop)
+        assert workload.graph.name.split(".")[0] in text or isinstance(
+            s, CombinedLoop
+        )
+
+    def test_parallel_never_slower_than_sequential_fallback(self, workload):
+        s = schedule_loop(workload.graph, workload.machine)
+        n = 30
+        seq = sequential_time(workload.graph, n)
+        par = min(s.compile_schedule(n).makespan(), seq)
+        assert 0.0 <= percentage_parallelism(seq, par) < 100.0

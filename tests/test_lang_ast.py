@@ -1,0 +1,99 @@
+"""AST evaluation and rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    ScalarRef,
+    Select,
+    UnaryOp,
+    eval_expr,
+    walk_expr,
+)
+from repro.lang.parser import parse_expr
+
+
+def ev(text: str, array=None, scalar=None, iteration: int = 0) -> float:
+    return eval_expr(
+        parse_expr(text),
+        iteration,
+        array or (lambda n, i: float(i)),
+        scalar or (lambda n: 2.0),
+    )
+
+
+class TestEval:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3 - 4") == 3.0
+
+    def test_division_is_total(self):
+        assert ev("1 / 0") == 0.0
+
+    def test_array_indexing_uses_iteration(self):
+        assert ev("A[I-2]", iteration=10) == 8.0
+
+    def test_scalar(self):
+        assert ev("x * x") == 4.0
+
+    def test_comparisons(self):
+        assert ev("3 <= 3") == 1.0
+        assert ev("3 < 3") == 0.0
+        assert ev("2 != 3") == 1.0
+
+    def test_unary(self):
+        assert ev("-(2)") == -2.0
+        assert ev("!0") == 1.0
+
+    def test_intrinsics(self):
+        assert ev("sqrt(16)") == 4.0
+        assert ev("abs(0 - 5)") == 5.0
+        assert ev("max(1, 2)") == 2.0
+        assert ev("min(1, 2)") == 1.0
+        assert ev("sign(0 - 9)") == -1.0
+
+    def test_sqrt_of_negative_is_total(self):
+        assert ev("sqrt(0 - 4)") == 2.0
+
+    def test_exp_clamped(self):
+        assert ev("exp(1000)") < 1e30
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(ReproError, match="intrinsic"):
+            ev("frobnicate(1)")
+
+    def test_select_lazy(self):
+        e = Select(Const(1.0), Const(5.0), BinOp("/", Const(1.0), Const(0.0)))
+        assert eval_expr(e, 0, lambda n, i: 0.0, lambda n: 0.0) == 5.0
+
+
+class TestStructure:
+    def test_walk_visits_all(self):
+        e = parse_expr("A[I] + max(b, 2)")
+        kinds = [type(x).__name__ for x in walk_expr(e)]
+        assert kinds.count("BinOp") == 1
+        assert "Call" in kinds and "ArrayRef" in kinds
+
+    def test_str_roundtrips_through_parser(self):
+        for text in ("(A[I-1] + B[I])", "max(x, 2)", "((a * b) / c)"):
+            e = parse_expr(text)
+            again = parse_expr(str(e))
+            assert str(again) == str(e)
+
+    def test_assign_source(self):
+        a = Assign("L", "X", 0, parse_expr("X[I-1] + 1"), latency=2)
+        assert a.source() == "L{2}: X[I] = (X[I-1] + 1)"
+
+    def test_assign_reads(self):
+        a = Assign("L", "X", 0, parse_expr("X[I-1] + y"))
+        reads = a.reads()
+        assert ArrayRef("X", -1) in reads and ScalarRef("y") in reads
+
+    def test_scalar_assign_source(self):
+        a = Assign("L", "s", None, Const(1.0))
+        assert a.source() == "L: s = 1"
+        assert a.is_scalar

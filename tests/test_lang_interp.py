@@ -1,0 +1,80 @@
+"""Sequential reference interpreter."""
+
+import pytest
+
+from repro.lang.interp import Store, default_live_in, run_loop
+from repro.lang.parser import parse_loop
+
+
+class TestStore:
+    def test_live_in_deterministic(self):
+        assert default_live_in("A", 3) == default_live_in("A", 3)
+        assert default_live_in("A", 3) != default_live_in("A", 4)
+        assert default_live_in("A", None) != default_live_in("B", None)
+
+    def test_live_in_range(self):
+        for i in range(50):
+            v = default_live_in("X", i)
+            assert 1.0 <= v < 2.0
+
+    def test_reads_fall_back_to_live_in(self):
+        st = Store()
+        assert st.read_array("A", -1) == default_live_in("A", -1)
+        assert st.read_scalar("s") == default_live_in("s", None)
+
+    def test_written_values_win(self):
+        st = Store()
+        st.arrays[("A", 0)] = 9.0
+        st.scalars["s"] = 7.0
+        assert st.read_array("A", 0) == 9.0
+        assert st.read_scalar("s") == 7.0
+
+    def test_copy_is_deep_enough(self):
+        st = Store()
+        st.arrays[("A", 0)] = 1.0
+        c = st.copy()
+        c.arrays[("A", 0)] = 2.0
+        assert st.read_array("A", 0) == 1.0
+
+
+class TestRunLoop:
+    def test_accumulator(self):
+        loop = parse_loop("A: X[I] = X[I-1] + 1")
+        x0 = default_live_in("X", -1)
+        st = run_loop(loop, 5)
+        assert st.read_array("X", 4) == pytest.approx(x0 + 5)
+
+    def test_trace_has_every_instance(self):
+        loop = parse_loop("A: X[I] = X[I-1] + 1\nB: Y[I] = X[I]")
+        trace = {}
+        run_loop(loop, 4, trace=trace)
+        assert set(trace) == {
+            (label, i) for label in "AB" for i in range(4)
+        }
+
+    def test_statement_order_within_iteration(self):
+        # B reads X[I] written by A in the same iteration
+        loop = parse_loop("A: X[I] = 10\nB: Y[I] = X[I] + 1")
+        st = run_loop(loop, 1)
+        assert st.read_array("Y", 0) == 11.0
+
+    def test_scalar_carries_across_iterations(self):
+        loop = parse_loop("A: s = s + 1\nB: OUT[I] = s")
+        st = run_loop(loop, 3, Store(scalars={"s": 0.0}))
+        assert st.read_array("OUT", 2) == 3.0
+
+    def test_custom_store_not_mutated(self):
+        base = Store(scalars={"s": 5.0})
+        loop = parse_loop("A: s = s + 1")
+        run_loop(loop, 3, base)
+        assert base.scalars["s"] == 5.0
+
+    def test_zero_iterations(self):
+        loop = parse_loop("A: X[I] = 1")
+        st = run_loop(loop, 0)
+        assert st.arrays == {}
+
+    def test_target_offset_write(self):
+        loop = parse_loop("A: X[I+1] = 3")
+        st = run_loop(loop, 2)
+        assert ("X", 1) in st.arrays and ("X", 2) in st.arrays

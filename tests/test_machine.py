@@ -1,0 +1,95 @@
+"""Machine and communication-cost models."""
+
+import pytest
+
+from repro._types import Op
+from repro.errors import ReproError
+from repro.graph.ddg import Edge
+from repro.machine.comm import FluctuatingComm, UniformComm, ZeroComm
+from repro.machine.model import Machine
+
+E = Edge("a", "b", distance=1)
+
+
+class TestUniform:
+    def test_costs(self):
+        c = UniformComm(3)
+        assert c.compile_cost(E) == 3
+        assert c.runtime_cost(E, Op("a", 5)) == 3
+        assert c.max_compile_cost() == 3
+
+    def test_per_edge_override(self):
+        c = UniformComm(3)
+        e = Edge("a", "b", distance=0, comm=1)
+        assert c.compile_cost(e) == 1
+        assert c.runtime_cost(e, Op("a", 0)) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            UniformComm(-1)
+
+
+class TestZero:
+    def test_all_zero(self):
+        c = ZeroComm()
+        assert c.compile_cost(E) == 0
+        assert c.runtime_cost(E, Op("a", 0)) == 0
+        assert c.max_compile_cost() == 0
+
+
+class TestFluctuating:
+    def test_compile_cost_is_estimate(self):
+        c = FluctuatingComm(k=3, mm=5)
+        assert c.compile_cost(E) == 3
+
+    def test_worst_mode_constant(self):
+        c = FluctuatingComm(k=3, mm=5, mode="worst")
+        for i in range(10):
+            assert c.runtime_cost(E, Op("a", i)) == 7  # k + mm - 1
+
+    def test_mm_one_no_fluctuation(self):
+        c = FluctuatingComm(k=3, mm=1, mode="uniform")
+        assert c.runtime_cost(E, Op("a", 0)) == 3
+
+    def test_uniform_mode_bounds_and_determinism(self):
+        c = FluctuatingComm(k=3, mm=4, mode="uniform", seed=1)
+        costs = [c.runtime_cost(E, Op("a", i)) for i in range(200)]
+        assert all(3 <= x <= 6 for x in costs)
+        assert costs == [c.runtime_cost(E, Op("a", i)) for i in range(200)]
+        assert len(set(costs)) > 1  # actually fluctuates
+
+    def test_seed_changes_costs(self):
+        c1 = FluctuatingComm(k=3, mm=4, mode="uniform", seed=1)
+        c2 = FluctuatingComm(k=3, mm=4, mode="uniform", seed=2)
+        costs1 = [c1.runtime_cost(E, Op("a", i)) for i in range(50)]
+        costs2 = [c2.runtime_cost(E, Op("a", i)) for i in range(50)]
+        assert costs1 != costs2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            FluctuatingComm(k=-1)
+        with pytest.raises(ReproError):
+            FluctuatingComm(mm=0)
+        with pytest.raises(ReproError):
+            FluctuatingComm(mode="chaotic")
+
+
+class TestMachine:
+    def test_defaults(self):
+        m = Machine()
+        assert m.processors == 8
+        assert m.k == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Machine(processors=0)
+
+    def test_with_helpers(self):
+        m = Machine(4, UniformComm(2))
+        assert m.with_processors(2).processors == 2
+        assert m.with_comm(ZeroComm()).k == 0
+        assert m.processors == 4  # frozen original untouched
+
+    def test_vliw_like(self):
+        m = Machine.vliw_like(16)
+        assert m.processors == 16 and m.k == 0

@@ -1,0 +1,205 @@
+"""Parser tests for the loop mini-language."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import ArrayRef, BinOp, Call, Const, ScalarRef, Select
+from repro.lang.parser import parse_expr, parse_loop
+from repro.workloads.examples import FIG7_SOURCE
+
+
+class TestExpressions:
+    def test_number(self):
+        assert parse_expr("42") == Const(42.0)
+
+    def test_precedence(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert isinstance(e, BinOp) and e.op == "*"
+
+    def test_array_refs(self):
+        assert parse_expr("A[I]") == ArrayRef("A", 0)
+        assert parse_expr("A[I-2]") == ArrayRef("A", -2)
+        assert parse_expr("A[I + 3]") == ArrayRef("A", 3)
+
+    def test_scalar_ref(self):
+        assert parse_expr("alpha") == ScalarRef("alpha")
+
+    def test_call(self):
+        e = parse_expr("max(A[I], 0)")
+        assert isinstance(e, Call) and e.fn == "max" and len(e.args) == 2
+
+    def test_comparison(self):
+        e = parse_expr("A[I] <= 3")
+        assert isinstance(e, BinOp) and e.op == "<="
+
+    def test_unary_minus(self):
+        e = parse_expr("-A[I] + 1")
+        assert isinstance(e, BinOp) and e.op == "+"
+
+    def test_subscript_must_use_loop_var(self):
+        with pytest.raises(ParseError, match="loop index"):
+            parse_expr("A[J]", loop_var="I")
+
+    def test_subscript_offset_must_be_integer(self):
+        with pytest.raises(ParseError, match="integer"):
+            parse_expr("A[I+1.5]")
+
+    def test_bare_loop_index_rejected(self):
+        with pytest.raises(ParseError, match="bare loop index"):
+            parse_expr("I + 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_expr("1 + 2 3")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_expr("A[I] ? 2")
+
+
+class TestLoops:
+    def test_fig7_roundtrip(self):
+        loop = parse_loop(FIG7_SOURCE, name="fig7")
+        assert loop.var == "I"
+        assert loop.labels() == ["A", "B", "C", "D", "E"]
+        reparsed = parse_loop(loop.source())
+        assert reparsed.labels() == loop.labels()
+
+    def test_default_labels(self):
+        loop = parse_loop("X[I] = X[I-1] + 1\nY[I] = X[I]")
+        assert loop.labels() == ["S0", "S1"]
+
+    def test_latency_annotation(self):
+        loop = parse_loop("M{3}: X[I] = X[I-1] * 2")
+        assert loop.assignments()[0].latency == 3
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ParseError, match="latency"):
+            parse_loop("M{0}: X[I] = 1")
+
+    def test_scalar_target(self):
+        loop = parse_loop("s = s + X[I]")
+        a = loop.assignments()[0]
+        assert a.is_scalar and a.target == "s"
+
+    def test_comments_and_blank_lines_ignored(self):
+        loop = parse_loop("""
+        # setup
+        A: X[I] = 1   # trailing comment
+
+        """)
+        assert loop.labels() == ["A"]
+
+    def test_custom_loop_var(self):
+        loop = parse_loop("FOR K = 1 TO N\n X[K] = X[K-1]\nENDFOR")
+        assert loop.var == "K"
+
+    def test_nested_for_rejected(self):
+        with pytest.raises(ParseError, match="nested"):
+            parse_loop("FOR I = 1 TO N\nFOR J = 1 TO N\nENDFOR\nENDFOR")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_loop("A: X[I] = 1\nA: Y[I] = 2")
+
+    def test_if_blocks(self):
+        loop = parse_loop("""
+        IF X[I-1] > 0 THEN
+          A: Y[I] = 1
+        ELSE
+          B: Y[I] = 2
+        ENDIF
+        """)
+        assert loop.has_conditionals()
+        (blk,) = loop.body
+        assert len(blk.then_body) == 1 and len(blk.else_body) == 1
+
+    def test_if_without_endif_rejected(self):
+        with pytest.raises(ParseError, match="ENDIF"):
+            parse_loop("IF X[I-1] > 0 THEN\n A: Y[I] = 1")
+
+    def test_nested_if(self):
+        loop = parse_loop("""
+        IF X[I-1] > 0 THEN
+          IF X[I-1] > 1 THEN
+            A: Y[I] = 1
+          ENDIF
+        ENDIF
+        """)
+        (outer,) = loop.body
+        (inner,) = outer.then_body
+        assert len(inner.then_body) == 1
+
+    def test_malformed_if_header(self):
+        with pytest.raises(ParseError, match="IF"):
+            parse_loop("IF X[I-1] > 0\n A: Y[I] = 1\nENDIF")
+
+    def test_stray_endif_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop("A: X[I] = 1\nENDIF")
+
+    def test_assignment_target_must_be_name(self):
+        with pytest.raises(ParseError):
+            parse_loop("3 = X[I]")
+
+
+class TestRoundTripProperty:
+    """Parser/printer stability under generated expressions."""
+
+    @staticmethod
+    def _expr_strategy():
+        import hypothesis.strategies as st
+
+        atoms = st.one_of(
+            st.integers(0, 99).map(lambda n: f"{n}"),
+            st.sampled_from(["x", "alpha", "B[I]", "B[I-2]", "C[I+1]"]),
+        )
+
+        def compose(children):
+            return st.one_of(
+                st.tuples(children, st.sampled_from("+-*/"), children).map(
+                    lambda t: f"({t[0]} {t[1]} {t[2]})"
+                ),
+                st.tuples(st.sampled_from(["max", "min"]), children, children).map(
+                    lambda t: f"{t[0]}({t[1]}, {t[2]})"
+                ),
+                children.map(lambda e: f"(-{e})"),
+            )
+
+        return st.recursive(atoms, compose, max_leaves=8)
+
+    def test_parse_print_parse_is_stable(self):
+        from hypothesis import given, settings
+
+        @given(self._expr_strategy())
+        @settings(max_examples=80)
+        def check(text):
+            e1 = parse_expr(text)
+            e2 = parse_expr(str(e1))
+            assert str(e1) == str(e2)
+            assert e1 == e2
+
+        check()
+
+    def test_eval_agrees_after_roundtrip(self):
+        from hypothesis import given, settings
+
+        from repro.lang.ast import eval_expr
+
+        @given(self._expr_strategy())
+        @settings(max_examples=60)
+        def check(text):
+            e1 = parse_expr(text)
+            e2 = parse_expr(str(e1))
+            array = lambda n, i: float(i) + 1.5
+            scalar = lambda n: 2.25
+            assert eval_expr(e1, 3, array, scalar) == eval_expr(
+                e2, 3, array, scalar
+            )
+
+        check()

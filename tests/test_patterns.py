@@ -1,0 +1,145 @@
+"""Configuration keys and Pattern expansion/coverage."""
+
+import pytest
+
+from repro._types import Op
+from repro.core.patterns import Pattern, configuration_key
+from repro.core.schedule import Placement
+from repro.errors import SchedulingError
+
+
+def place(node, it, proc, start, lat=1):
+    return Placement(start, proc, Op(node, it), lat)
+
+
+class TestConfigurationKey:
+    def grid_of(self, placements):
+        grid = {}
+        for p in placements:
+            for q in range(p.latency):
+                grid[(p.proc, p.start + q)] = (p.op.node, p.op.iteration, q)
+        return grid
+
+    def test_empty_window_is_none(self):
+        assert configuration_key({}, range(2), 0, 3) is None
+
+    def test_shifted_windows_share_key(self):
+        g1 = self.grid_of([place("A", 0, 0, 0), place("B", 1, 1, 1)])
+        g2 = self.grid_of([place("A", 7, 0, 10), place("B", 8, 1, 11)])
+        b1, k1 = configuration_key(g1, range(2), 0, 2)
+        b2, k2 = configuration_key(g2, range(2), 10, 2)
+        assert k1 == k2
+        assert b2 - b1 == 7
+
+    def test_different_nodes_differ(self):
+        g1 = self.grid_of([place("A", 0, 0, 0)])
+        g2 = self.grid_of([place("B", 0, 0, 0)])
+        assert (
+            configuration_key(g1, range(1), 0, 1)[1]
+            != configuration_key(g2, range(1), 0, 1)[1]
+        )
+
+    def test_phase_distinguishes_op_interiors(self):
+        g1 = self.grid_of([place("A", 0, 0, 0, lat=2)])
+        k_head = configuration_key(g1, range(1), 0, 1)[1]
+        k_tail = configuration_key(g1, range(1), 1, 1)[1]
+        assert k_head != k_tail
+
+    def test_relative_iteration_spread_matters(self):
+        g1 = self.grid_of([place("A", 0, 0, 0), place("B", 1, 1, 0)])
+        g2 = self.grid_of([place("A", 0, 0, 0), place("B", 2, 1, 0)])
+        assert (
+            configuration_key(g1, range(2), 0, 1)[1]
+            != configuration_key(g2, range(2), 0, 1)[1]
+        )
+
+
+def simple_pattern(d=1, period=2):
+    """A[i] on proc 0 then B[i] on proc 0: period `period`, shift 1."""
+    kernel = (place("A", 0, 0, 0), place("B", 0, 0, 1))
+    return Pattern(
+        start=0,
+        period=period,
+        iter_shift=d,
+        prelude=(),
+        kernel=kernel,
+        processors=1,
+    )
+
+
+class TestPattern:
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            Pattern(0, 0, 1, (), (place("A", 0, 0, 0),), 1)
+        with pytest.raises(SchedulingError):
+            Pattern(0, 1, 0, (), (place("A", 0, 0, 0),), 1)
+        with pytest.raises(SchedulingError):
+            Pattern(0, 1, 1, (), (), 1)
+
+    def test_rate(self):
+        p = simple_pattern()
+        assert p.cycles_per_iteration() == 2.0
+        assert p.height == 2
+
+    def test_expand_counts_and_times(self):
+        p = simple_pattern()
+        s = p.expand(5)
+        assert len(s) == 10
+        assert s.start(Op("A", 3)) == 6
+        assert s.start(Op("B", 4)) == 9
+
+    def test_expand_zero_iterations(self):
+        assert len(simple_pattern().expand(0)) == 0
+
+    def test_expand_with_prelude(self):
+        kernel = (place("A", 1, 0, 3),)
+        prelude = (place("A", 0, 0, 0),)
+        p = Pattern(3, 2, 1, prelude, kernel, 1)
+        s = p.expand(4)
+        assert [s.start(Op("A", i)) for i in range(4)] == [0, 3, 5, 7]
+
+    def test_coverage_ok_contiguous(self):
+        simple_pattern().check_coverage()
+
+    def test_coverage_residue_system(self):
+        # kernel contains iterations {0, 3} with shift 2: residues {0, 1},
+        # prelude must supply the hole {1}
+        kernel = (place("A", 0, 0, 0), place("A", 3, 0, 1))
+        prelude = (place("A", 1, 0, 0),)
+        Pattern(2, 2, 2, prelude, kernel, 1).check_coverage()
+
+    def test_coverage_missing_hole_rejected(self):
+        kernel = (place("A", 0, 0, 0), place("A", 3, 0, 1))
+        with pytest.raises(SchedulingError, match="prelude"):
+            Pattern(2, 2, 2, (), kernel, 1).check_coverage()
+
+    def test_coverage_duplicate_residue_rejected(self):
+        kernel = (place("A", 0, 0, 0), place("A", 2, 0, 1))
+        with pytest.raises(SchedulingError, match="residue"):
+            Pattern(2, 2, 2, (), kernel, 1).check_coverage()
+
+    def test_coverage_stray_prelude_node_rejected(self):
+        p = Pattern(
+            1,
+            2,
+            1,
+            (place("Z", 0, 0, 0),),
+            (place("A", 0, 0, 1),),
+            1,
+        )
+        with pytest.raises(SchedulingError, match="prelude"):
+            p.check_coverage()
+
+    def test_describe_mentions_rate(self):
+        assert "cycles/iter" in simple_pattern().describe()
+
+    def test_used_processors(self):
+        kernel = (place("A", 0, 0, 0), place("B", 0, 2, 1))
+        p = Pattern(0, 2, 1, (), kernel, 4)
+        assert p.used_processors() == [0, 2]
+
+    def test_kernel_iteration_range(self):
+        p = simple_pattern()
+        assert p.kernel_iteration_range("A") == (0, 1)
+        with pytest.raises(SchedulingError):
+            p.kernel_iteration_range("Z")

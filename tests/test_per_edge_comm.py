@@ -1,0 +1,101 @@
+"""Per-edge communication-cost overrides, end to end.
+
+The paper allows "each communication edge can have a different cost,
+but k is the upper bound" (§2.3).  Edge costs are carried on the
+dependence edge (``Edge.comm``) and must be honoured consistently by
+the scheduler, the validator, both simulators, and the configuration
+window height.
+"""
+
+import pytest
+
+from repro._types import Op
+from repro.core.cyclic import schedule_cyclic
+from repro.core.scheduler import schedule_loop
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import FluctuatingComm, UniformComm
+from repro.machine.model import Machine
+from repro.sim.engine import simulate
+from repro.sim.fastpath import evaluate
+
+
+def mixed_cost_graph():
+    """Two-node recurrence: cheap edge one way, expensive the other."""
+    g = DependenceGraph("mixed")
+    g.add_node("A", 1)
+    g.add_node("B", 1)
+    g.add_edge("A", "B", comm=1)
+    g.add_edge("B", "A", distance=1, comm=5)
+    return g
+
+
+class TestPerEdgeCosts:
+    def test_models_honour_override(self):
+        g = mixed_cost_graph()
+        cheap, dear = g.edges
+        u = UniformComm(3)
+        assert u.compile_cost(cheap) == 1
+        assert u.compile_cost(dear) == 5
+        f = FluctuatingComm(k=3, mm=3, mode="worst")
+        assert f.runtime_cost(dear, Op("B", 0)) == 7  # 5 + mm - 1
+
+    def test_fastpath_charges_override(self):
+        g = mixed_cost_graph()
+        s = evaluate(
+            g, [[Op("A", 0)], [Op("B", 0)]], UniformComm(3)
+        )
+        assert s.start(Op("B", 0)) == 2  # 1 latency + override 1
+
+    def test_engine_matches(self):
+        g = mixed_cost_graph()
+        order = [[Op("A", 0), Op("A", 1)], [Op("B", 0), Op("B", 1)]]
+        fast = evaluate(g, order, UniformComm(3))
+        slow = simulate(g, order, UniformComm(3), use_runtime=False)
+        for op in fast.ops():
+            assert fast.start(op) == slow.schedule.start(op)
+        # A1 needs B0 across the expensive edge: 2 + 1 + 5 = 8
+        assert fast.start(Op("A", 1)) == 8
+
+    def test_scheduler_avoids_expensive_split(self):
+        """With a 5-cycle back edge, splitting the recurrence loses;
+        the pattern keeps it serial (rate 2)."""
+        g = mixed_cost_graph()
+        m = Machine(2, UniformComm(3))
+        r = schedule_cyclic(g, m)
+        assert r.pattern.cycles_per_iteration() == pytest.approx(2.0)
+        assert len(r.pattern.used_processors()) == 1
+
+    def test_validator_uses_override(self):
+        from repro.core.schedule import Schedule
+        from repro.errors import ValidationError
+
+        g = mixed_cost_graph()
+        s = Schedule(2)
+        s.add(Op("B", 0), 0, 0, 1)
+        s.add(Op("A", 1), 1, 3, 1)  # needs 1 + 5 = 6 across procs
+        with pytest.raises(ValidationError):
+            s.validate(g, UniformComm(3))
+        ok = Schedule(2)
+        ok.add(Op("B", 0), 0, 0, 1)
+        ok.add(Op("A", 1), 1, 6, 1)
+        ok.validate(g, UniformComm(3))
+
+    def test_window_height_tracks_largest_edge_cost(self):
+        """k is 'the upper bound of this cost': detection must use the
+        per-edge maximum even when the machine default is lower."""
+        g = mixed_cost_graph()
+        m = Machine(2, UniformComm(1))  # default below the 5-cycle edge
+        r = schedule_cyclic(g, m)
+        n = 3 * r.pattern.iter_shift + 2
+        sched = r.pattern.expand(n)
+        sched.validate(g, m.comm, iterations=n)
+
+    def test_full_loop_schedules_and_validates(self):
+        g = mixed_cost_graph()
+        g.add_node("OUT", 1)
+        g.add_edge("B", "OUT", comm=2)
+        m = Machine(3, UniformComm(3))
+        s = schedule_loop(g, m)
+        n = 12
+        sched = s.compile_schedule(n)
+        sched.validate(g, m.comm, iterations=n)

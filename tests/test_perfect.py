@@ -1,0 +1,47 @@
+"""Perfect Pipelining baseline (zero communication)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.perfect import schedule_perfect
+from repro.core.scheduler import schedule_loop
+from repro.graph.algorithms import critical_recurrence_ratio
+from repro.machine.model import Machine
+
+from tests.conftest import chain_graph, connected_cyclic_graphs
+
+
+class TestPerfect:
+    def test_fig7_hits_recurrence_bound(self, fig7_workload):
+        s = schedule_perfect(fig7_workload.graph, processors=4)
+        assert s.steady_cycles_per_iteration() == pytest.approx(2.5)
+
+    def test_ring_bound(self):
+        g = chain_graph(4, latency=2)
+        s = schedule_perfect(g)
+        assert s.steady_cycles_per_iteration() == pytest.approx(8.0)
+
+    def test_never_slower_than_with_communication(self, elliptic_workload):
+        w = elliptic_workload
+        ideal = schedule_perfect(w.graph, w.machine.processors)
+        real = schedule_loop(w.graph, w.machine)
+        assert (
+            ideal.steady_cycles_per_iteration()
+            <= real.steady_cycles_per_iteration()
+        )
+
+    def test_program_validates_under_zero_comm(self, cytron_workload):
+        w = cytron_workload
+        s = schedule_perfect(w.graph, 4)
+        n = 20
+        sched = s.compile_schedule(n)
+        sched.validate(w.graph, Machine.vliw_like(4).comm, iterations=n)
+
+    @given(connected_cyclic_graphs(max_nodes=5))
+    @settings(max_examples=25)
+    def test_rate_sandwich(self, g):
+        """bound <= perfect <= serial execution."""
+        ideal = schedule_perfect(g, 4)
+        rate = ideal.steady_cycles_per_iteration()
+        assert rate >= critical_recurrence_ratio(g) - 1e-6
+        assert rate <= g.total_latency() + 1e-9

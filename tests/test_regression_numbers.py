@@ -1,0 +1,69 @@
+"""Exact deterministic regression pins.
+
+Every scheduler and simulator in this library is deterministic, so the
+headline artifacts have *exact* expected values on any machine.  These
+pins catch silent behavioural drift that tolerance-based tests would
+absorb (a changed tie-break, a perturbed hash, a reordered loop).  If
+a deliberate algorithm change moves one of these numbers, update the
+pin together with EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.baselines.doacross import schedule_doacross
+from repro.core.scheduler import schedule_loop
+from repro.sim.fastpath import evaluate
+from repro.workloads import (
+    adaptive_filter,
+    cytron86,
+    elliptic_filter,
+    fig7,
+    livermore18,
+    random_cyclic_loop,
+)
+
+N = 100
+
+#: workload -> (makespan@100, pattern period, iteration shift, processors)
+PINS = {
+    "fig7": (fig7, 300, 6, 2, 2),
+    "cytron86": (cytron86, 605, 6, 1, 4),
+    "livermore18": (livermore18, 2204, 57, 3, 6),
+    "elliptic": (elliptic_filter, 3010, 90, 3, 4),
+    "adaptive": (adaptive_filter, 602, 12, 2, 3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PINS))
+def test_workload_pins(name):
+    factory, makespan, period, shift, procs = PINS[name]
+    w = factory()
+    s = schedule_loop(w.graph, w.machine)
+    assert s.compile_schedule(N).makespan() == makespan
+    assert s.pattern is not None
+    assert s.pattern.period == period
+    assert s.pattern.iter_shift == shift
+    assert s.total_processors == procs
+
+
+#: seed -> (cyclic nodes, runtime makespan @50 iterations, mm=3 worst)
+RANDOM_PINS = {2: (7, 296), 9: (12, 495), 13: (15, 654)}
+
+
+@pytest.mark.parametrize("seed", sorted(RANDOM_PINS))
+def test_random_loop_pins(seed):
+    nodes, makespan = RANDOM_PINS[seed]
+    w = random_cyclic_loop(seed, mm=3)
+    assert len(w.graph) == nodes
+    s = schedule_loop(w.graph, w.machine)
+    t = evaluate(
+        w.graph, s.program(50), w.machine.comm, use_runtime=True
+    ).makespan()
+    assert t == makespan
+
+
+def test_doacross_pins():
+    w = fig7()
+    da = schedule_doacross(w.graph, w.machine.with_processors(4))
+    assert da.delay == 7
+    assert da.compile_schedule(N).makespan() == 698

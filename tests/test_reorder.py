@@ -1,0 +1,75 @@
+"""Body reordering to minimize the DOACROSS delay."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.doacross import doacross_delay
+from repro.baselines.reorder import EXHAUSTIVE_NODE_LIMIT, minimize_delay
+from repro.errors import SchedulingError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+
+from tests.conftest import loop_graphs
+
+
+def legal(graph, order):
+    pos = {n: i for i, n in enumerate(order)}
+    return all(
+        pos[e.src] < pos[e.dst]
+        for e in graph.edges
+        if e.distance == 0
+    )
+
+
+class TestExhaustive:
+    def test_finds_known_improvement(self):
+        # lcd B -> A with A,B intra-independent: order (B, A) is better
+        g = DependenceGraph()
+        g.add_node("A", 1)
+        g.add_node("B", 1)
+        g.add_edge("B", "A", distance=1)
+        m = Machine(2, UniformComm(2))
+        order = minimize_delay(g, m)
+        assert order == ("B", "A")
+        assert doacross_delay(g, m, order) < doacross_delay(g, m, ("A", "B"))
+
+    def test_fig7(self, fig7_workload):
+        m = Machine(2, UniformComm(2))
+        order = minimize_delay(fig7_workload.graph, m)
+        assert legal(fig7_workload.graph, order)
+        assert doacross_delay(fig7_workload.graph, m, order) == 6
+
+    def test_node_limit_enforced(self, livermore_workload):
+        with pytest.raises(SchedulingError, match="limit"):
+            minimize_delay(
+                livermore_workload.graph,
+                livermore_workload.machine,
+                method="exhaustive",
+            )
+        assert len(livermore_workload.graph) > EXHAUSTIVE_NODE_LIMIT
+
+    def test_unknown_method(self, fig7_workload):
+        with pytest.raises(SchedulingError):
+            minimize_delay(
+                fig7_workload.graph, Machine(2), method="quantum"
+            )
+
+
+class TestHeuristic:
+    def test_legal_on_large_graph(self, livermore_workload):
+        order = minimize_delay(
+            livermore_workload.graph,
+            livermore_workload.machine,
+            method="heuristic",
+        )
+        assert legal(livermore_workload.graph, order)
+
+    @given(loop_graphs(max_nodes=6))
+    @settings(max_examples=40)
+    def test_exhaustive_never_worse_than_heuristic(self, g):
+        m = Machine(2, UniformComm(2))
+        exact = minimize_delay(g, m, method="exhaustive")
+        heur = minimize_delay(g, m, method="heuristic")
+        assert legal(g, exact) and legal(g, heur)
+        assert doacross_delay(g, m, exact) <= doacross_delay(g, m, heur)

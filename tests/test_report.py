@@ -1,0 +1,186 @@
+"""Reporting: Gantt charts and tables."""
+
+import pytest
+
+from repro._types import Op
+from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_loop
+from repro.experiments import Measurement, run_fig7, run_table1
+from repro.report import (
+    format_measurement,
+    format_measurements,
+    format_table1,
+    gantt,
+    pattern_chart,
+)
+
+
+class TestGantt:
+    def test_basic_layout(self):
+        s = Schedule(2)
+        s.add(Op("A", 0), 0, 0, 2)
+        s.add(Op("B", 0), 1, 1, 1)
+        text = gantt(s)
+        lines = text.splitlines()
+        assert "PE0" in lines[0] and "PE1" in lines[0]
+        assert "A[0]" in lines[1]
+        assert "|A[0]" in lines[2]  # continuation marker
+        assert "B[0]" in lines[2]
+
+    def test_idle_cells(self):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 2, 1)
+        text = gantt(s)
+        assert text.splitlines()[1].strip().endswith(".")
+
+    def test_window_args(self):
+        s = Schedule(1)
+        for i in range(10):
+            s.add(Op("A", i), 0, i, 1)
+        text = gantt(s, first_cycle=4, cycles=2)
+        assert "A[4]" in text and "A[7]" not in text
+
+    def test_pattern_chart_boxes_kernel(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        text = pattern_chart(s.pattern)
+        assert text.count("---") >= 2
+        assert "cycles/iter" in text
+
+
+class TestTables:
+    def test_measurement_includes_paper_numbers(self):
+        m = run_fig7(iterations=20)
+        text = format_measurement(m)
+        assert "paper 40.0" in text and "Sp ours" in text
+
+    def test_measurement_without_paper_numbers(self):
+        m = Measurement(
+            name="x",
+            iterations=10,
+            sequential=100,
+            ours=50,
+            doacross=80,
+            ours_rate=5.0,
+            doacross_delay=8,
+            total_processors=2,
+        )
+        text = format_measurement(m)
+        assert "paper" not in text
+
+    def test_format_measurements_joins(self):
+        m = run_fig7(iterations=10)
+        text = format_measurements([m, m])
+        assert text.count("Sp ours") == 2
+
+    def test_table1_layout(self):
+        t = run_table1(seeds=[1, 2, 3], iterations=20)
+        text = format_table1(t)
+        assert "mm=1" in text
+        assert "Table 1(b)" in text
+        assert "factor" in text
+
+
+class TestExport:
+    def test_measurement_roundtrip(self):
+        import json
+
+        from repro.report import measurement_to_dict, to_json
+
+        m = run_fig7(iterations=20)
+        d = measurement_to_dict(m)
+        assert d["workload"] == "fig7"
+        assert d["sp_ours"] == pytest.approx(40.0, abs=0.5)
+        parsed = json.loads(to_json(d))
+        assert parsed == json.loads(json.dumps(d))
+
+    def test_table1_export(self):
+        from repro.report import table1_to_dict
+
+        t = run_table1(seeds=[1, 2], iterations=20)
+        d = table1_to_dict(t)
+        assert len(d["rows"]) == 2
+        assert "mm1" in d["averages"] and "factor" in d["averages"]["mm1"]
+        assert d["paper_averages"]["mm1"]["sp_ours"] == pytest.approx(
+            47.4, abs=0.1
+        )
+
+    def test_to_json_writes_file(self, tmp_path):
+        from repro.report import to_json
+
+        path = tmp_path / "out.json"
+        text = to_json({"a": 1}, str(path))
+        assert path.read_text().strip() == text
+
+    def test_fig8_and_sweep_and_gap_exports(self):
+        from repro.experiments import run_comm_sweep, run_fig8, run_perfect_gap
+        from repro.report import (
+            fig8_to_dict,
+            perfect_gap_to_dicts,
+            sweep_to_dicts,
+        )
+
+        d = fig8_to_dict(run_fig8(iterations=20))
+        assert d["natural_sp"] == 0.0
+        pts = sweep_to_dicts(run_comm_sweep(seeds=[1, 2], true_ks=(3, 7), iterations=20))
+        assert [p["true_k"] for p in pts] == [3, 7]
+        rows = perfect_gap_to_dicts(run_perfect_gap())
+        assert {r["workload"] for r in rows} >= {"fig7", "elliptic"}
+
+
+class TestCompileReport:
+    def test_fig7_report_sections(self):
+        from repro.report import compile_report
+        from repro.workloads import fig7
+
+        w = fig7()
+        s = schedule_loop(w.graph, w.machine)
+        text = compile_report(s, w.loop)
+        assert "compilation report: fig7" in text
+        assert "recurrence bound 2.5" in text
+        assert "asymptotic Sp 40.0%" in text
+        assert "PARBEGIN" in text  # emitted code included
+
+    def test_report_without_code(self):
+        from repro.report import compile_report
+        from repro.workloads import cytron86
+
+        w = cytron86()
+        s = schedule_loop(w.graph, w.machine)
+        text = compile_report(s, emit_code=False)
+        assert "PARBEGIN" not in text
+        assert "flow-in 11" in text
+
+    def test_folded_report_degrades_gracefully(self):
+        from repro.report import compile_report
+        from repro.workloads import livermore18
+
+        w = livermore18()
+        s = schedule_loop(w.graph, w.machine, folding="always")
+        text = compile_report(s, w.loop)
+        assert "folded into cyclic processor" in text
+        assert "emission unavailable" in text  # folded: no symbolic code
+
+    def test_doall_report(self):
+        from repro.graph.ddg import DependenceGraph
+        from repro.machine.model import Machine
+        from repro.report import compile_report
+
+        g = DependenceGraph("d")
+        g.add_node("A")
+        s = schedule_loop(g, Machine(2))
+        assert "DOALL" in compile_report(s)
+
+    def test_combined_report(self):
+        from repro.graph.ddg import DependenceGraph
+        from repro.machine.model import Machine
+        from repro.report import compile_report
+
+        g = DependenceGraph("two")
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "a", distance=1)
+        g.add_edge("b", "b", distance=1)
+        s = schedule_loop(g, Machine(2))
+        text = compile_report(s)
+        assert "independent components" in text
+        assert text.count("compilation report") == 2

@@ -1,0 +1,156 @@
+"""Schedule container and the machine-model validator."""
+
+import pytest
+
+from repro._types import Op
+from repro.core.schedule import Placement, Schedule
+from repro.errors import ValidationError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+
+from tests.conftest import chain_graph
+
+
+@pytest.fixture
+def graph():
+    g = DependenceGraph()
+    g.add_node("A", 1)
+    g.add_node("B", 2)
+    g.add_edge("A", "B")
+    g.add_edge("B", "A", distance=1)
+    return g
+
+
+class TestConstruction:
+    def test_add_and_lookup(self, graph):
+        s = Schedule(2)
+        p = s.add(Op("A", 0), 0, 5, 1)
+        assert p.end == 6
+        assert s.start(Op("A", 0)) == 5
+        assert s.proc(Op("A", 0)) == 0
+        assert Op("A", 0) in s and len(s) == 1
+
+    def test_double_add_rejected(self):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 0, 1)
+        with pytest.raises(ValidationError, match="twice"):
+            s.add(Op("A", 0), 0, 5, 1)
+
+    def test_proc_out_of_range(self):
+        s = Schedule(1)
+        with pytest.raises(ValidationError, match="range"):
+            s.add(Op("A", 0), 1, 0, 1)
+
+    def test_negative_start_rejected(self):
+        s = Schedule(1)
+        with pytest.raises(ValidationError):
+            s.add(Op("A", 0), 0, -1, 1)
+
+    def test_missing_op_lookup(self):
+        with pytest.raises(ValidationError):
+            Schedule(1).placement(Op("A", 0))
+
+    def test_order_sorted_by_start(self):
+        s = Schedule(1)
+        s.add(Op("B", 0), 0, 5, 1)
+        s.add(Op("A", 0), 0, 0, 1)
+        assert [p.op.node for p in s.ops_on(0)] == ["A", "B"]
+        assert s.order() == [[Op("A", 0), Op("B", 0)]]
+
+    def test_makespan_and_used_processors(self):
+        s = Schedule(3)
+        s.add(Op("A", 0), 2, 4, 3)
+        assert s.makespan() == 7
+        assert s.used_processors() == [2]
+
+    def test_busy_and_utilization(self):
+        s = Schedule(2)
+        s.add(Op("A", 0), 0, 0, 2)
+        s.add(Op("B", 0), 1, 0, 1)
+        assert s.busy_cycles(0) == 2
+        assert s.utilization() == pytest.approx(3 / 4)
+
+
+class TestValidation:
+    def test_overlap_detected(self, graph):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 0, 1)
+        s.add(Op("B", 0), 0, 0, 2)
+        with pytest.raises(ValidationError, match="overlaps"):
+            s.validate(graph)
+
+    def test_wrong_latency_detected(self, graph):
+        s = Schedule(1)
+        s.add(Op("B", 0), 0, 0, 1)  # B's true latency is 2
+        with pytest.raises(ValidationError, match="latency"):
+            s.validate(graph)
+
+    def test_same_proc_dependence_timing(self, graph):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 0, 1)
+        s.add(Op("B", 0), 0, 0 if False else 0, 2)
+        # B starts at 0 but A finishes at 1
+        s2 = Schedule(1)
+        s2.add(Op("A", 0), 0, 0, 1)
+        s2.add(Op("B", 0), 0, 2, 2)  # wait, overlap-free and late enough
+        s2.validate(graph, UniformComm(2))
+
+    def test_dependence_violation_same_proc(self, graph):
+        s = Schedule(2)
+        s.add(Op("A", 0), 0, 5, 1)
+        s.add(Op("B", 0), 0, 3, 2)  # starts before A finishes
+        with pytest.raises(ValidationError, match="needs"):
+            s.validate(graph, UniformComm(2))
+
+    def test_dependence_violation_cross_proc_comm(self, graph):
+        s = Schedule(2)
+        s.add(Op("A", 0), 0, 0, 1)
+        s.add(Op("B", 0), 1, 2, 2)  # needs 1 + comm 2 = 3
+        with pytest.raises(ValidationError, match="comm"):
+            s.validate(graph, UniformComm(2))
+        s2 = Schedule(2)
+        s2.add(Op("A", 0), 0, 0, 1)
+        s2.add(Op("B", 0), 1, 3, 2)
+        s2.validate(graph, UniformComm(2))
+
+    def test_loop_carried_dependence_checked(self, graph):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 0, 1)
+        s.add(Op("B", 0), 0, 1, 2)
+        s.add(Op("A", 1), 0, 3, 1)  # fine: B0 ends at 3
+        s.validate(graph, UniformComm(2))
+        bad = Schedule(2)
+        bad.add(Op("B", 0), 0, 0, 2)
+        bad.add(Op("A", 1), 1, 1, 1)  # needs B0 end 2 + comm 2 = 4
+        with pytest.raises(ValidationError):
+            bad.validate(graph, UniformComm(2))
+
+    def test_absent_predecessor_tolerated(self, graph):
+        s = Schedule(1)
+        s.add(Op("B", 5), 0, 0, 2)  # A5 not in this window
+        s.validate(graph, UniformComm(2))
+
+    def test_completeness_check(self, graph):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 0, 1)
+        with pytest.raises(ValidationError, match="incomplete"):
+            s.validate(graph, iterations=1)
+        s.add(Op("B", 0), 0, 1, 2)
+        s.validate(graph, iterations=1)
+
+    def test_completeness_with_subset(self, graph):
+        s = Schedule(1)
+        s.add(Op("A", 0), 0, 0, 1)
+        s.validate(graph, iterations=1, node_subset=["A"])
+
+
+class TestPlacement:
+    def test_shifted(self):
+        p = Placement(3, 1, Op("A", 2), 2)
+        q = p.shifted(10, 4)
+        assert q.start == 13 and q.op == Op("A", 6) and q.proc == 1
+
+    def test_ordering_by_start(self):
+        a = Placement(1, 0, Op("A", 0), 1)
+        b = Placement(2, 0, Op("B", 0), 1)
+        assert a < b

@@ -1,0 +1,191 @@
+"""The full scheduler (paper Fig. 6) end to end."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._types import Op
+from repro.core.scheduler import CombinedLoop, ScheduledLoop, schedule_loop
+from repro.errors import SchedulingError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+from repro.metrics import percentage_parallelism, sequential_time
+
+from tests.conftest import chain_graph, loop_graphs
+
+
+class TestFig7:
+    def test_sp_matches_paper(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        n = 100
+        sched = s.compile_schedule(n)
+        sched.validate(fig7_workload.graph, machine2.comm, iterations=n)
+        sp = percentage_parallelism(
+            sequential_time(fig7_workload.graph, n), sched.makespan()
+        )
+        assert sp == pytest.approx(40.0, abs=0.5)
+
+    def test_program_partitions_all_instances(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        prog = s.program(10)
+        ops = [op for row in prog for op in row]
+        assert sorted(ops) == sorted(fig7_workload.graph.instances(10))
+
+    def test_zero_iterations(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        assert all(not row for row in s.program(0))
+
+    def test_negative_iterations_rejected(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        with pytest.raises(SchedulingError):
+            s.program(-1)
+
+    def test_describe(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        text = s.describe()
+        assert "cyclic 5" in text and "total processors: 2" in text
+
+
+class TestDistanceGate:
+    def test_distance_over_one_rejected_with_hint(self, machine2):
+        g = DependenceGraph()
+        g.add_node("A")
+        g.add_edge("A", "A", distance=4)
+        with pytest.raises(SchedulingError, match="normalize"):
+            schedule_loop(g, machine2)
+
+    def test_normalized_graph_schedules(self, machine2):
+        from repro.graph.unwind import normalize_distances
+
+        g = DependenceGraph()
+        g.add_node("A", 2)
+        g.add_edge("A", "A", distance=3)
+        u = normalize_distances(g)
+        s = schedule_loop(u.graph, machine2)
+        # three copies of a latency-2 op, one recurrence each spanning 3
+        # original iterations: steady rate 2 unwound-cycles/iteration
+        assert s.steady_cycles_per_iteration() == pytest.approx(2.0)
+
+
+class TestDoall:
+    def doall_graph(self):
+        g = DependenceGraph("doall")
+        g.add_node("A", 2)
+        g.add_node("B", 1)
+        g.add_edge("A", "B")
+        return g
+
+    def test_doall_detected(self, machine4):
+        s = schedule_loop(self.doall_graph(), machine4)
+        assert isinstance(s, ScheduledLoop) and s.is_doall
+        assert s.pattern is None
+        assert s.total_processors == 4
+
+    def test_doall_rate(self, machine4):
+        s = schedule_loop(self.doall_graph(), machine4)
+        assert s.steady_cycles_per_iteration() == pytest.approx(3 / 4)
+
+    def test_doall_program_valid_and_fast(self, machine4):
+        g = self.doall_graph()
+        s = schedule_loop(g, machine4)
+        n = 16
+        sched = s.compile_schedule(n)
+        sched.validate(g, machine4.comm, iterations=n)
+        # 16 iterations of 3 cycles over 4 procs: 12 cycles
+        assert sched.makespan() == 12
+
+
+class TestDisconnected:
+    def two_rings(self):
+        g = DependenceGraph("two")
+        for name in ("a", "b"):
+            for i in range(2):
+                g.add_node(f"{name}{i}")
+        g.add_edge("a0", "a1")
+        g.add_edge("a1", "a0", distance=1)
+        g.add_edge("b0", "b1")
+        g.add_edge("b1", "b0", distance=1)
+        return g
+
+    def test_combined_loop(self, machine4):
+        g = self.two_rings()
+        s = schedule_loop(g, machine4)
+        assert isinstance(s, CombinedLoop)
+        assert len(s.parts) == 2
+        assert "components" in s.describe()
+
+    def test_combined_program_validates(self, machine4):
+        g = self.two_rings()
+        s = schedule_loop(g, machine4)
+        n = 12
+        sched = s.compile_schedule(n)
+        sched.validate(g, machine4.comm, iterations=n)
+        # both rings run concurrently at 2 cycles/iter
+        assert sched.makespan() == 24
+        assert s.steady_cycles_per_iteration() == pytest.approx(2.0)
+
+    def test_components_on_disjoint_processors(self, machine4):
+        g = self.two_rings()
+        s = schedule_loop(g, machine4)
+        prog = s.program(6)
+        for row in prog:
+            names = {op.node[0] for op in row}
+            assert len(names) <= 1
+
+
+class TestWorkloadsValidate:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["cytron_workload", "livermore_workload", "elliptic_workload"],
+    )
+    def test_compile_schedule_validates(self, fixture, request):
+        w = request.getfixturevalue(fixture)
+        s = schedule_loop(w.graph, w.machine)
+        n = 40
+        sched = s.compile_schedule(n)
+        sched.validate(w.graph, w.machine.comm, iterations=n)
+
+    def test_folded_program_validates(self, livermore_workload):
+        w = livermore_workload
+        s = schedule_loop(w.graph, w.machine, folding="always")
+        assert s.plan is not None and s.plan.fold_into is not None
+        n = 30
+        sched = s.compile_schedule(n)
+        sched.validate(w.graph, w.machine.comm, iterations=n)
+
+    def test_unfolded_program_validates(self, livermore_workload):
+        w = livermore_workload
+        s = schedule_loop(w.graph, w.machine, folding="never")
+        assert s.total_processors > len(s.cyclic_processors)
+        n = 30
+        sched = s.compile_schedule(n)
+        sched.validate(w.graph, w.machine.comm, iterations=n)
+
+    def test_folding_saves_processors(self, livermore_workload):
+        w = livermore_workload
+        folded = schedule_loop(w.graph, w.machine, folding="always")
+        spread = schedule_loop(w.graph, w.machine, folding="never")
+        assert folded.total_processors < spread.total_processors
+
+
+class TestProperties:
+    @given(loop_graphs(max_nodes=6))
+    @settings(max_examples=30)
+    def test_any_loop_schedules_and_validates(self, g):
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m)
+        n = 8
+        sched = s.compile_schedule(n)
+        sched.validate(g, m.comm, iterations=n)
+
+    @given(loop_graphs(max_nodes=6, ensure_recurrence=True))
+    @settings(max_examples=30)
+    def test_parallel_never_slower_than_doubled_sequential(self, g):
+        m = Machine(3, UniformComm(1))
+        s = schedule_loop(g, m)
+        n = 10
+        par = s.compile_schedule(n).makespan()
+        seq = sequential_time(g, n)
+        # greedy with comm can exceed sequential, but only by bounded
+        # startup/communication overhead, never catastrophically
+        assert par <= 2 * seq + 20 * m.comm.max_compile_cost() + 20

@@ -1,0 +1,89 @@
+"""Trace analysis: stats and critical chains."""
+
+import pytest
+
+from repro._types import Op
+from repro.core.scheduler import schedule_loop
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import UniformComm
+from repro.sim.engine import simulate
+from repro.sim.trace import critical_chain, trace_stats
+
+
+def ab_graph():
+    g = DependenceGraph()
+    g.add_node("A", 1)
+    g.add_node("B", 2)
+    g.add_edge("A", "B")
+    return g
+
+
+class TestStats:
+    def test_basic_numbers(self):
+        g = ab_graph()
+        tr = simulate(g, [[Op("A", 0)], [Op("B", 0)]], UniformComm(2))
+        st = trace_stats(tr)
+        assert st.makespan == 5
+        assert st.messages == 1 and st.comm_cycles == 2
+        assert st.mean_message_cost == 2.0
+        by_proc = {p.proc: p for p in st.processors}
+        assert by_proc[0].busy_cycles == 1
+        assert by_proc[1].first_start == 3 and by_proc[1].last_finish == 5
+
+    def test_utilization(self):
+        g = ab_graph()
+        tr = simulate(g, [[Op("A", 0), Op("B", 0)]], UniformComm(2))
+        st = trace_stats(tr)
+        (p,) = st.processors
+        assert p.utilization == 1.0
+        assert st.busiest().proc == 0
+
+    def test_summary_text(self, fig7_workload, machine2):
+        s = schedule_loop(fig7_workload.graph, machine2)
+        tr = simulate(fig7_workload.graph, s.program(10), machine2.comm)
+        text = trace_stats(tr).summary()
+        assert "makespan" in text and "PE0" in text
+
+
+class TestCriticalChain:
+    def test_empty_trace(self):
+        g = ab_graph()
+        tr = simulate(g, [[]], UniformComm(2))
+        assert critical_chain(g, tr) == []
+
+    def test_comm_on_critical_path(self):
+        g = ab_graph()
+        tr = simulate(g, [[Op("A", 0)], [Op("B", 0)]], UniformComm(2))
+        chain = critical_chain(g, tr)
+        assert chain == [(Op("A", 0), "start"), (Op("B", 0), "comm")]
+
+    def test_data_on_same_processor(self):
+        g = ab_graph()
+        tr = simulate(g, [[Op("A", 0), Op("B", 0)]], UniformComm(2))
+        chain = critical_chain(g, tr)
+        assert chain == [(Op("A", 0), "start"), (Op("B", 0), "data")]
+
+    def test_processor_serialization_reason(self):
+        g = DependenceGraph()
+        g.add_node("X", 2)
+        g.add_node("Y", 1)
+        tr = simulate(g, [[Op("X", 0), Op("Y", 0)]], UniformComm(2))
+        chain = critical_chain(g, tr)
+        assert chain[-1] == (Op("Y", 0), "proc")
+
+    def test_chain_is_contiguous_in_time(self, fig7_workload, machine2):
+        g = fig7_workload.graph
+        s = schedule_loop(g, machine2)
+        tr = simulate(g, s.program(20), machine2.comm, use_runtime=False)
+        chain = critical_chain(g, tr)
+        assert chain[0][1] == "start"
+        sched = tr.schedule
+        # each link starts exactly when its trigger completes/arrives
+        for (a, _), (b, why) in zip(chain, chain[1:]):
+            pa, pb = sched.placement(a), sched.placement(b)
+            if why in ("data", "proc"):
+                assert pa.end == pb.start
+            else:  # comm
+                assert pa.end < pb.start
+        # and the chain ends at the makespan
+        assert sched.placement(chain[-1][0]).end == tr.makespan

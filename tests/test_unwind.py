@@ -1,0 +1,110 @@
+"""Loop unwinding / distance normalization (MuSi87)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._types import Op
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.unwind import normalize_distances, unwind
+
+from tests.conftest import loop_graphs
+
+
+def distance3_graph() -> DependenceGraph:
+    g = DependenceGraph("d3")
+    g.add_node("A", 1)
+    g.add_node("B", 2)
+    g.add_edge("A", "B", distance=0)
+    g.add_edge("B", "A", distance=3)
+    return g
+
+
+class TestUnwind:
+    def test_factor_one_is_copy(self):
+        g = distance3_graph()
+        u = unwind(g, 1)
+        assert u.factor == 1
+        assert u.graph.node_names() == g.node_names()
+        assert u.to_unwound(Op("A", 5)) == Op("A", 5)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(GraphError):
+            unwind(distance3_graph(), 0)
+
+    def test_normalize_bounds_distances(self):
+        u = normalize_distances(distance3_graph())
+        assert u.factor == 3
+        assert u.graph.max_distance() == 1
+        assert len(u.graph) == 6
+
+    def test_edge_structure(self):
+        u = normalize_distances(distance3_graph())
+        g = u.graph
+        # B@r -> A@(r+3)%3 = A@r with distance (r+3)//3 = 1
+        for r in range(3):
+            edges = [
+                e
+                for e in g.edges
+                if e.src == f"B@{r}" and e.dst == f"A@{r}"
+            ]
+            assert len(edges) == 1 and edges[0].distance == 1
+
+    def test_latency_and_label_preserved(self):
+        u = normalize_distances(distance3_graph())
+        assert u.graph.latency("B@2") == 2
+
+    def test_mapping_roundtrip(self):
+        u = normalize_distances(distance3_graph())
+        for i in range(10):
+            op = Op("B", i)
+            assert u.to_original(u.to_unwound(op)) == op
+
+    def test_to_original_rejects_bad_name(self):
+        u = normalize_distances(distance3_graph())
+        with pytest.raises(GraphError):
+            u.to_original(Op("B", 0))
+
+    @given(loop_graphs(), st.integers(1, 4))
+    def test_instance_dependences_preserved(self, g, factor):
+        """Edge instances of the unwound graph = those of the original."""
+        u = unwind(g, factor)
+        horizon = 2 * factor + 2
+
+        def instance_edges(graph, mapper, horizon):
+            out = set()
+            for name in graph.node_names():
+                for i in range(horizon):
+                    op = Op(name, i)
+                    for pred, _e in graph.instance_predecessors(op):
+                        out.add((mapper(pred), mapper(op)))
+            return out
+
+        orig = instance_edges(g, lambda o: o, horizon * factor)
+        unw = instance_edges(u.graph, u.to_original, horizon)
+        # restrict both to the common window the unwound horizon covers
+        window = {
+            (a, b)
+            for a, b in orig
+            if b.iteration < horizon * factor
+        }
+        covered = {
+            (a, b) for a, b in unw if b.iteration < horizon * factor
+        }
+        # every unwound dependence maps to an original one
+        assert covered <= window
+        # and everything the original has inside the safe interior
+        interior = {
+            (a, b)
+            for a, b in window
+            if b.iteration < (horizon - 1) * factor
+        }
+        assert interior <= covered
+
+    @given(loop_graphs())
+    def test_normalize_is_idempotent_on_normalized(self, g):
+        u = normalize_distances(g)
+        again = normalize_distances(u.graph)
+        assert again.factor == max(1, u.graph.max_distance())
+        assert again.graph.max_distance() <= 1

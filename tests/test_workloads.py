@@ -1,0 +1,126 @@
+"""Workload library: structure and generator protocol."""
+
+import pytest
+
+from repro.core.classify import classify
+from repro.errors import ReproError
+from repro.graph.algorithms import connected_components
+from repro.workloads import (
+    cytron86,
+    elliptic_filter,
+    fig1,
+    fig3,
+    fig7,
+    livermore18,
+    paper_seeds,
+    random_cyclic_loop,
+    random_loop,
+)
+
+
+class TestExamples:
+    def test_fig7_structure(self):
+        w = fig7()
+        assert w.loop is not None
+        assert w.graph.node_names() == ["A", "B", "C", "D", "E"]
+        assert w.graph.total_latency() == 5
+        assert w.machine.k == 2
+        assert w.paper["sp_ours"] == 40.0
+
+    def test_fig1_is_connected(self):
+        assert len(connected_components(fig1().graph)) == 1
+
+    def test_fig3_all_unit_latency(self):
+        w = fig3()
+        assert all(n.latency == 1 for n in w.graph.nodes.values())
+        assert w.machine.k == 1
+
+    def test_cytron_reconstruction_constraints(self):
+        w = cytron86()
+        assert len(w.graph) == 17
+        assert w.graph.total_latency() == 22
+        c = classify(w.graph)
+        assert c.cyclic == tuple("012345")
+        assert not c.flow_out
+        lats = {w.graph.latency(n) for n in w.graph.node_names()}
+        assert lats == {1, 2}  # "the latency of the operations is not unique"
+
+    def test_livermore_reconstruction_constraints(self):
+        w = livermore18()
+        assert len(w.graph) == 31
+        c = classify(w.graph)
+        assert len(c.flow_in) == 8  # paper: 8 non-Cyclic nodes, all Flow-in
+
+    def test_elliptic_reconstruction_constraints(self):
+        w = elliptic_filter()
+        g = w.graph
+        assert len(g) == 34
+        lats = [g.latency(n) for n in g.node_names()]
+        assert lats.count(1) == 26 and lats.count(2) == 8
+        c = classify(g)
+        assert c.flow_out == ("e34",)  # paper: only node 34 non-Cyclic
+        assert len(c.cyclic) == 33
+
+    def test_workload_notes_flag_reconstructions(self):
+        for w in (cytron86(), livermore18(), elliptic_filter()):
+            assert "econstruction" in w.notes
+
+
+class TestRandomLoops:
+    def test_paper_seeds(self):
+        assert paper_seeds() == list(range(1, 26))
+
+    def test_protocol_counts(self):
+        g = random_loop(7)
+        assert len(g) == 40
+        sds = [e for e in g.edges if e.distance == 0]
+        lcds = [e for e in g.edges if e.distance == 1]
+        assert len(sds) == 20 and len(lcds) == 20
+
+    def test_latencies_in_range(self):
+        g = random_loop(3)
+        assert all(1 <= n.latency <= 3 for n in g.nodes.values())
+
+    def test_deterministic_per_seed(self):
+        a, b = random_loop(5), random_loop(5)
+        assert a.node_names() == b.node_names()
+        assert [
+            (e.src, e.dst, e.distance) for e in a.edges
+        ] == [(e.src, e.dst, e.distance) for e in b.edges]
+
+    def test_seeds_differ(self):
+        a, b = random_loop(1), random_loop(2)
+        assert [(e.src, e.dst) for e in a.edges] != [
+            (e.src, e.dst) for e in b.edges
+        ]
+
+    def test_sd_edges_forward_only(self):
+        g = random_loop(9)
+        for e in g.edges:
+            if e.distance == 0:
+                assert g.node_index(e.src) < g.node_index(e.dst)
+
+    def test_body_is_executable(self):
+        for seed in (1, 5, 9):
+            random_loop(seed).validate()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            random_loop(1, nodes=1)
+        with pytest.raises(ReproError):
+            random_loop(1, nodes=3, sds=50)
+
+    def test_cyclic_subject_nonempty_and_cyclic(self):
+        for seed in paper_seeds():
+            w = random_cyclic_loop(seed)
+            c = classify(w.graph)
+            assert len(c.cyclic) == len(w.graph) >= 1
+            assert not c.flow_in and not c.flow_out
+
+    def test_cyclic_subject_machine_parameters(self):
+        w = random_cyclic_loop(4, k=3, mm=5)
+        assert w.machine.k == 3
+        edge = w.graph.edges[0]
+        from repro._types import Op
+
+        assert w.machine.comm.runtime_cost(edge, Op(edge.src, 0)) == 7
