@@ -1,0 +1,71 @@
+"""Cold-vs-warm pipeline compilation cost.
+
+The PassManager caches intermediate artifacts keyed by content, so
+recompiling an identical (graph, machine, options) triple should cost
+orders of magnitude less than the first compilation and execute zero
+scheduler passes.  These benchmarks pin that contract and record the
+observed speedup.
+"""
+
+from repro.pipeline import ArtifactCache, compile_graph
+from repro.workloads import suite
+
+from benchmarks.conftest import record
+
+ITERATIONS = 60
+
+
+def _compile_suite(cache):
+    executed = 0
+    for w in suite().values():
+        ctx = compile_graph(
+            w.graph, w.machine, iterations=ITERATIONS, cache=cache
+        )
+        executed += len(ctx.report.executed)
+    return executed
+
+
+def test_cold_compilation(benchmark):
+    """Every pass runs: parse-free graph pipeline over the whole suite."""
+
+    def run():
+        return _compile_suite(ArtifactCache())
+
+    executed = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert executed > 0
+    record(benchmark, passes_executed=executed, workloads=len(suite()))
+
+
+def test_warm_compilation(benchmark):
+    """Second compilation of the same suite restores from cache only."""
+    cache = ArtifactCache()
+    _compile_suite(cache)  # populate outside the timed region
+
+    executed = benchmark.pedantic(
+        lambda: _compile_suite(cache), rounds=5, iterations=3
+    )
+    assert executed == 0, "warm run must execute zero scheduler passes"
+    record(
+        benchmark,
+        passes_executed=executed,
+        cache_entries=len(cache),
+        cache_hits=cache.hits,
+    )
+
+
+def test_cache_speedup_factor(benchmark):
+    """Record the cold/warm wall-time ratio in one measurement."""
+    import time
+
+    def run():
+        cache = ArtifactCache()
+        t0 = time.perf_counter()
+        _compile_suite(cache)
+        t1 = time.perf_counter()
+        _compile_suite(cache)
+        t2 = time.perf_counter()
+        return (t1 - t0) / max(t2 - t1, 1e-9)
+
+    ratio = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert ratio > 1.0, f"warm run not faster than cold (ratio={ratio:.2f})"
+    record(benchmark, cold_over_warm=round(ratio, 1))

@@ -72,6 +72,22 @@ def main() -> None:
     print("\nFirst cycles of the schedule (compare paper Fig. 7(d)):")
     print(gantt(scheduled.compile_schedule(6), cycles=14))
 
+    # The same compilation as an explicit pass pipeline, with per-stage
+    # timing and artifact caching (the second run is pure cache hits).
+    from repro import CompilationContext, build_pipeline
+
+    pipeline = build_pipeline(source=True, iterations=n)
+    ctx = CompilationContext.from_source(SOURCE, machine, name="fig7")
+    pipeline.run(ctx)
+    assert ctx.scheduled.program(n) == program
+    print("\nPipeline stages (cold):")
+    print(ctx.report.format())
+    ctx2 = CompilationContext.from_source(SOURCE, machine, name="fig7")
+    pipeline.run(ctx2)
+    print(f"warm recompile: {len(ctx2.report.executed)} of "
+          f"{len(ctx2.report.passes)} passes executed "
+          f"({ctx2.report.cache_hits} cache hits)")
+
 
 if __name__ == "__main__":
     main()

@@ -39,18 +39,29 @@ from repro.graph import DependenceGraph, normalize_distances, to_dot, unwind
 from repro.lang import build_graph, if_convert, parse_loop, run_loop
 from repro.machine import FluctuatingComm, Machine, UniformComm, ZeroComm
 from repro.metrics import percentage_parallelism, sequential_time, speedup
+from repro.pipeline import (
+    CompilationContext,
+    PassManager,
+    PipelineReport,
+    build_pipeline,
+    compile_graph,
+    compile_source,
+)
 from repro.sim import critical_chain, evaluate, simulate, trace_stats
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Classification",
+    "CompilationContext",
     "DependenceGraph",
     "FluctuatingComm",
     "Machine",
     "NormalizedSchedule",
     "Op",
+    "PassManager",
     "Pattern",
+    "PipelineReport",
     "Placement",
     "Schedule",
     "ScheduledLoop",
@@ -58,6 +69,9 @@ __all__ = [
     "ZeroComm",
     "__version__",
     "build_graph",
+    "build_pipeline",
+    "compile_graph",
+    "compile_source",
     "classify",
     "evaluate",
     "if_convert",

@@ -12,19 +12,22 @@ Usage::
     repro-mimd table1        # 25 random loops x mm in {1,3,5}
     repro-mimd sweep         # communication-cost robustness sweep
     repro-mimd codegen       # Fig. 10-style partitioned code for fig7
+    repro-mimd stages fig7   # per-pass pipeline timings, cold vs warm
     repro-mimd all           # everything above
 
 ``python -m repro.cli <experiment>`` works identically.
+
+Every subcommand supports ``--json PATH``: the experiment payload is
+written together with aggregated pipeline telemetry (per-pass wall
+time, cache hits, warnings) under the ``pipeline_report`` key.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import Any, Callable
 
-from repro.codegen import emit_subloops
-from repro.core.scheduler import schedule_loop
 from repro.experiments import (
     run_comm_sweep,
     run_fig1,
@@ -36,44 +39,56 @@ from repro.experiments import (
     run_fig12,
     run_table1,
 )
+from repro.pipeline import (
+    ArtifactCache,
+    CompilationContext,
+    aggregate_reports,
+    build_pipeline,
+    collect_reports,
+)
 from repro.report import format_measurement, format_table1, pattern_chart
 from repro.workloads import fig7 as fig7_workload
 
 __all__ = ["main"]
 
 
-def _cmd_fig1(args: argparse.Namespace) -> None:
+def _cmd_fig1(args: argparse.Namespace):
     w, c = run_fig1()
     print(f"{w.name}: classification (paper Fig. 1)")
     print(f"  Flow-in : {', '.join(c.flow_in)}   (paper: A B C D F)")
     print(f"  Cyclic  : {', '.join(c.cyclic)}   (paper: E I K L)")
     print(f"  Flow-out: {', '.join(c.flow_out)}   (paper: G H J)")
+    return {
+        "workload": w.name,
+        "flow_in": list(c.flow_in),
+        "cyclic": list(c.cyclic),
+        "flow_out": list(c.flow_out),
+    }
 
 
-def _cmd_fig3(args: argparse.Namespace) -> None:
+def _cmd_fig3(args: argparse.Namespace):
     w, s = run_fig3()
     print(f"{w.name}: pattern under unit communication cost (paper Fig. 3)")
     assert s.pattern is not None
     print(pattern_chart(s.pattern))
+    return {
+        "workload": w.name,
+        "pattern_period": s.pattern.period,
+        "pattern_iter_shift": s.pattern.iter_shift,
+        "rate": s.steady_cycles_per_iteration(),
+        "processors": s.total_processors,
+    }
 
 
-def _export(args: argparse.Namespace, payload) -> None:
-    if getattr(args, "json", None):
-        from repro.report import to_json
-
-        to_json(payload, args.json)
-        print(f"(wrote {args.json})")
-
-
-def _cmd_fig7(args: argparse.Namespace) -> None:
+def _cmd_fig7(args: argparse.Namespace):
     from repro.report import measurement_to_dict
 
     m = run_fig7(args.iterations)
     print(format_measurement(m))
-    _export(args, measurement_to_dict(m))
+    return measurement_to_dict(m)
 
 
-def _cmd_fig8(args: argparse.Namespace) -> None:
+def _cmd_fig8(args: argparse.Namespace):
     from repro.report import fig8_to_dict
 
     r = run_fig8(args.iterations)
@@ -82,42 +97,42 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
           f"Sp {r.sp_natural:.1f} (paper 0.0)")
     print(f"  optimal reorder: {'-'.join(r.reordered.body_order)}, "
           f"delay {r.reordered.delay}, Sp {r.sp_reordered:.1f} (paper 0.0)")
-    _export(args, fig8_to_dict(r))
+    return fig8_to_dict(r)
 
 
-def _cmd_fig9(args: argparse.Namespace) -> None:
+def _cmd_fig9(args: argparse.Namespace):
     from repro.report import measurement_to_dict
 
     m = run_fig9(2 * args.iterations)
     print(format_measurement(m))
-    _export(args, measurement_to_dict(m))
+    return measurement_to_dict(m)
 
 
-def _cmd_fig11(args: argparse.Namespace) -> None:
+def _cmd_fig11(args: argparse.Namespace):
     from repro.report import measurement_to_dict
 
     m = run_fig11(args.iterations)
     print(format_measurement(m))
-    _export(args, measurement_to_dict(m))
+    return measurement_to_dict(m)
 
 
-def _cmd_fig12(args: argparse.Namespace) -> None:
+def _cmd_fig12(args: argparse.Namespace):
     from repro.report import measurement_to_dict
 
     m = run_fig12(args.iterations)
     print(format_measurement(m))
-    _export(args, measurement_to_dict(m))
+    return measurement_to_dict(m)
 
 
-def _cmd_table1(args: argparse.Namespace) -> None:
+def _cmd_table1(args: argparse.Namespace):
     from repro.report import table1_to_dict
 
     t = run_table1(iterations=args.iterations // 2)
     print(format_table1(t))
-    _export(args, table1_to_dict(t))
+    return table1_to_dict(t)
 
 
-def _cmd_sweep(args: argparse.Namespace) -> None:
+def _cmd_sweep(args: argparse.Namespace):
     print("Robustness sweep: schedule with k=3, run with worst-case "
           "true cost (paper conclusion: profitable up to ~7x node time)")
     pts = run_comm_sweep()
@@ -126,17 +141,20 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
               f"doacross {pt.sp_doacross:5.1f}")
     from repro.report import sweep_to_dicts
 
-    _export(args, sweep_to_dicts(pts))
+    return sweep_to_dicts(pts)
 
 
-def _cmd_codegen(args: argparse.Namespace) -> None:
+def _cmd_codegen(args: argparse.Namespace):
     w = fig7_workload()
-    s = schedule_loop(w.graph, w.machine)
+    ctx = CompilationContext.from_graph(w.graph, w.machine)
+    ctx.artifacts["loop"] = w.loop
+    build_pipeline(emit=True).run(ctx)
     print("Partitioned code for the Fig. 7 loop (paper Fig. 7(e)):\n")
-    print(emit_subloops(s, w.loop))
+    print(ctx.get("code"))
+    return {"workload": w.name, "code": ctx.get("code")}
 
 
-def _cmd_perfect(args: argparse.Namespace) -> None:
+def _cmd_perfect(args: argparse.Namespace):
     from repro.experiments import run_perfect_gap
 
     print("Steady rates (cycles/iteration): recurrence bound <= "
@@ -148,7 +166,67 @@ def _cmd_perfect(args: argparse.Namespace) -> None:
               f"doacross {r.doacross_rate:5.1f}")
     from repro.report import perfect_gap_to_dicts
 
-    _export(args, perfect_gap_to_dicts(rows))
+    return perfect_gap_to_dicts(rows)
+
+
+def _stages_context(target: str, args: argparse.Namespace):
+    """Resolve a stages target: named workload, or a loop file path."""
+    import os
+
+    from repro.workloads import suite
+
+    workloads = suite()
+    if target in workloads:
+        w = workloads[target]
+        ctx = CompilationContext.from_graph(w.graph, w.machine)
+        return ctx, False
+    if os.path.exists(target):
+        from repro.machine import Machine, UniformComm
+
+        with open(target) as fh:
+            source = fh.read()
+        machine = Machine(args.processors, UniformComm(args.k))
+        ctx = CompilationContext.from_source(source, machine, name=target)
+        return ctx, True
+    raise SystemExit(
+        f"stages: unknown workload {target!r} "
+        f"(named workloads: {', '.join(sorted(workloads))}; "
+        "or pass a loop file path)"
+    )
+
+
+def _cmd_stages(args: argparse.Namespace):
+    """Per-pass pipeline instrumentation, demonstrating artifact caching."""
+    target = args.file or "fig7"
+    cache = ArtifactCache()  # fresh, so 'cold' is genuinely cold
+
+    def run_once():
+        ctx, from_source = _stages_context(target, args)
+        pm = build_pipeline(
+            source=from_source,
+            normalize=from_source,
+            iterations=args.iterations,
+            cache=cache,
+        )
+        return pm.run(ctx)
+
+    cold = run_once()
+    warm = run_once()
+    print(f"pipeline stages for {target!r} "
+          f"({args.iterations} iterations), cold run:")
+    print(cold.format())
+    print("\nwarm re-run (same inputs, same cache):")
+    print(warm.format())
+    print(f"\nwarm run executed {len(warm.executed)} of "
+          f"{len(warm.passes)} passes "
+          f"({warm.cache_hits} cache hits); "
+          f"cold {cold.total_seconds * 1e3:.3f}ms -> "
+          f"warm {warm.total_seconds * 1e3:.3f}ms")
+    return {
+        "workload": target,
+        "cold": cold.to_dict(),
+        "warm": warm.to_dict(),
+    }
 
 
 def schedule_file(
@@ -161,62 +239,63 @@ def schedule_file(
 ) -> str:
     """Compile a mini-language loop file end to end; returns the report.
 
-    Performs the full front end (parse, if-convert, dependence
+    Runs the full front-end pipeline (parse, if-convert, dependence
     analysis, distance normalization when needed), schedules, simulates
     ``iterations`` iterations, verifies the generated program's
     dataflow, and optionally emits the partitioned pseudo-code.
     """
     from repro.codegen import partition, verify_against_sequential
-    from repro.core.normalized import schedule_any_loop
-    from repro.lang import build_graph, if_convert, parse_loop
     from repro.machine import Machine, UniformComm
     from repro.metrics import percentage_parallelism, sequential_time
-    from repro.sim import evaluate
+    from repro.pipeline import frontend_passes, PassManager, default_cache
 
     with open(path) as fh:
         source = fh.read()
-    loop = if_convert(parse_loop(source, name=path))
-    graph = build_graph(loop)
     machine = Machine(processors, UniformComm(k))
+    ctx = CompilationContext.from_source(source, machine, name=path)
+    PassManager(frontend_passes(), cache=default_cache()).run(ctx)
+    graph = ctx.graph
+    loop = ctx.get("loop")
     lines = [f"{path}: {len(graph)} nodes, "
              f"{graph.total_latency()} cycles/iteration sequential"]
 
-    if graph.max_distance() > 1:
-        sched = schedule_any_loop(graph, machine)
+    normalize = graph.max_distance() > 1
+    build_pipeline(normalize=normalize, iterations=iterations).run(ctx)
+    sched = ctx.scheduled
+    if normalize:
         lines.append(sched.describe())
-        program = sched.program(iterations)
     else:
         from repro.report import compile_report
 
-        sched = schedule_loop(graph, machine)
         lines.append(compile_report(sched, loop, emit_code=emit))
-        program = sched.program(iterations)
         prog = partition(sched, min(iterations, 24))
         verify_against_sequential(loop, prog)
         lines.append("codegen verified against sequential semantics")
 
-    par = evaluate(graph, program, machine.comm).makespan()
+    par = ctx.evaluation.makespan()
     seq = sequential_time(graph, iterations)
     lines.append(
         f"{iterations} iterations: sequential {seq}, parallel {par}, "
         f"Sp {percentage_parallelism(seq, par):.1f}%"
     )
+    for d in ctx.warnings():
+        lines.append(str(d))
     return "\n".join(lines)
 
 
-def _cmd_schedule(args: argparse.Namespace) -> None:
-    print(
-        schedule_file(
-            args.file,
-            processors=args.processors,
-            k=args.k,
-            iterations=args.iterations,
-            emit=args.emit,
-        )
+def _cmd_schedule(args: argparse.Namespace):
+    text = schedule_file(
+        args.file,
+        processors=args.processors,
+        k=args.k,
+        iterations=args.iterations,
+        emit=args.emit,
     )
+    print(text)
+    return {"file": args.file, "report": text}
 
 
-_COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
+_COMMANDS: dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig1": _cmd_fig1,
     "fig3": _cmd_fig3,
     "fig7": _cmd_fig7,
@@ -228,7 +307,29 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], None]] = {
     "sweep": _cmd_sweep,
     "perfect": _cmd_perfect,
     "codegen": _cmd_codegen,
+    "stages": _cmd_stages,
 }
+
+
+def _export(args: argparse.Namespace, payload: Any, reports) -> None:
+    """Write ``payload`` + aggregated pipeline telemetry as JSON.
+
+    Dict payloads keep their keys at the top level (stable public
+    shape); list payloads are wrapped under ``rows``.
+    """
+    if not getattr(args, "json", None):
+        return
+    from repro.report import to_json
+
+    telemetry = aggregate_reports(reports)
+    if isinstance(payload, dict):
+        obj = {**payload, "pipeline_report": telemetry}
+    elif isinstance(payload, list):
+        obj = {"rows": payload, "pipeline_report": telemetry}
+    else:
+        obj = {"pipeline_report": telemetry}
+    to_json(obj, args.json)
+    print(f"(wrote {args.json})")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -244,12 +345,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=[*_COMMANDS, "all", "schedule"],
-        help="which artifact to regenerate, or 'schedule' for a file",
+        help="which artifact to regenerate, 'schedule' for a file, or "
+        "'stages' for per-pass pipeline timings",
     )
     parser.add_argument(
         "file",
         nargs="?",
-        help="mini-language loop file (for 'schedule')",
+        help="mini-language loop file (for 'schedule'), or workload "
+        "name / loop file (for 'stages', default fig7)",
     )
     parser.add_argument(
         "--iterations",
@@ -277,19 +380,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         metavar="PATH",
-        help="also write the experiment's result as JSON to PATH",
+        help="also write the experiment's result (with pipeline "
+        "telemetry) as JSON to PATH",
     )
     args = parser.parse_args(argv)
-    if args.experiment == "schedule":
-        if not args.file:
-            parser.error("'schedule' needs a loop file")
-        _cmd_schedule(args)
-    elif args.experiment == "all":
-        for name, fn in _COMMANDS.items():
-            print(f"\n=== {name} " + "=" * (60 - len(name)))
-            fn(args)
-    else:
-        _COMMANDS[args.experiment](args)
+    with collect_reports() as reports:
+        if args.experiment == "schedule":
+            if not args.file:
+                parser.error("'schedule' needs a loop file")
+            payload = _cmd_schedule(args)
+        elif args.experiment == "all":
+            payload = {"experiments": {}}
+            for name, fn in _COMMANDS.items():
+                print(f"\n=== {name} " + "=" * (60 - len(name)))
+                payload["experiments"][name] = fn(args)
+        else:
+            payload = _COMMANDS[args.experiment](args)
+        _export(args, payload, reports)
     return 0
 
 

@@ -22,11 +22,11 @@ import math
 from dataclasses import dataclass
 
 from repro._types import Op
-from repro.core.scheduler import CombinedLoop, ScheduledLoop, schedule_loop
+from repro.core.scheduler import CombinedLoop, ScheduledLoop
 from repro.core.schedule import Schedule
 from repro.errors import SchedulingError
 from repro.graph.ddg import DependenceGraph
-from repro.graph.unwind import UnwoundLoop, normalize_distances
+from repro.graph.unwind import UnwoundLoop
 from repro.machine.model import Machine
 from repro.sim.fastpath import evaluate
 
@@ -99,8 +99,13 @@ def schedule_any_loop(
     Accepts every option of
     :func:`repro.core.scheduler.schedule_loop`; the returned
     :class:`NormalizedSchedule` speaks the original iteration space.
+
+    Thin compatibility wrapper over the unified pipeline
+    (:mod:`repro.pipeline`): runs ``NormalizePass`` plus the three
+    scheduling passes through the process-wide artifact cache.
     """
-    graph.validate()
-    unwound = normalize_distances(graph)
-    inner = schedule_loop(unwound.graph, machine, **schedule_kwargs)
-    return NormalizedSchedule(graph, machine, unwound, inner)
+    from repro.pipeline import CompilationContext, build_pipeline
+
+    ctx = CompilationContext.from_graph(graph, machine)
+    build_pipeline(normalize=True, **schedule_kwargs).run(ctx)
+    return ctx.artifacts["scheduled"]

@@ -29,18 +29,17 @@ from dataclasses import dataclass
 from typing import Protocol
 
 from repro._types import Op
-from repro.core.classify import Classification, classify
-from repro.core.cyclic import CyclicStats, schedule_cyclic
+from repro.core.classify import Classification
+from repro.core.cyclic import CyclicStats
 from repro.core.flowio import (
     NonCyclicPlan,
     noncyclic_program,
-    plan_noncyclic,
     subset_order,
 )
 from repro.core.patterns import Pattern
 from repro.core.schedule import Schedule
 from repro.errors import SchedulingError
-from repro.graph.algorithms import connected_components, topological_order
+from repro.graph.algorithms import topological_order
 from repro.graph.ddg import DependenceGraph
 from repro.machine.model import Machine
 from repro.sim.fastpath import evaluate
@@ -373,64 +372,23 @@ def schedule_loop(
     :func:`repro.core.cyclic.schedule_cyclic`); ``folding`` controls
     the Section 3 non-Cyclic placement heuristic (``'auto'`` /
     ``'always'`` / ``'never'``).
+
+    This is a thin compatibility wrapper over the unified pipeline
+    (:mod:`repro.pipeline`): it runs ``ClassifyPass ->
+    CyclicSchedPass -> FlowIOSchedPass`` through the process-wide
+    artifact cache, so repeated scheduling of the same (graph,
+    machine, options) is a cache hit.  Build a
+    :class:`repro.pipeline.PassManager` directly for per-pass timings
+    and diagnostics.
     """
-    graph.validate()
-    if graph.max_distance() > 1:
-        raise SchedulingError(
-            f"dependence distance {graph.max_distance()} > 1; apply "
-            "repro.graph.unwind.normalize_distances first"
-        )
-    components = connected_components(graph)
-    if len(components) > 1:
-        parts = tuple(
-            _schedule_connected(
-                graph.subgraph(comp),
-                machine,
-                ordering=ordering,
-                tie_break=tie_break,
-                folding=folding,
-                max_instances=max_instances,
-                max_iteration_lead=max_iteration_lead,
-            )
-            for comp in components
-        )
-        return CombinedLoop(graph, machine, parts)
-    return _schedule_connected(
-        graph,
-        machine,
+    from repro.pipeline import CompilationContext, build_pipeline
+
+    ctx = CompilationContext.from_graph(graph, machine)
+    build_pipeline(
         ordering=ordering,
         tie_break=tie_break,
         folding=folding,
         max_instances=max_instances,
         max_iteration_lead=max_iteration_lead,
-    )
-
-
-def _schedule_connected(
-    graph: DependenceGraph,
-    machine: Machine,
-    *,
-    ordering: str,
-    tie_break: str,
-    folding: str,
-    max_instances: int | None,
-    max_iteration_lead: int,
-) -> ScheduledLoop:
-    classification = classify(graph)
-    if classification.is_doall:
-        return ScheduledLoop(graph, machine, classification, None, None, None)
-    cyclic_graph = graph.subgraph(classification.cyclic)
-    result = schedule_cyclic(
-        cyclic_graph,
-        machine,
-        ordering=ordering,
-        tie_break=tie_break,
-        max_instances=max_instances,
-        max_iteration_lead=max_iteration_lead,
-    )
-    plan = plan_noncyclic(
-        graph, classification, result.pattern, folding=folding
-    )
-    return ScheduledLoop(
-        graph, machine, classification, result.pattern, plan, result.stats
-    )
+    ).run(ctx)
+    return ctx.artifacts["scheduled"]

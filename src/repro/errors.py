@@ -34,6 +34,11 @@ class ClassificationError(ReproError):
     """Flow-in/Cyclic/Flow-out classification failed an invariant."""
 
 
+class PipelineError(ReproError):
+    """A compilation pipeline is mis-assembled (missing artifact,
+    pass ordering violation, unknown pass)."""
+
+
 class SchedulingError(ReproError):
     """The scheduler could not produce a valid schedule."""
 

@@ -1,0 +1,176 @@
+"""PassManager: ordered pass execution with caching and instrumentation.
+
+``PassManager.run(ctx)``:
+
+1. validates pass ordering up front (every ``requires`` must be
+   provided by an earlier pass or seeded in the context) so
+   mis-assembled pipelines fail with a pointed :class:`~repro.errors.
+   PipelineError` before any work happens;
+2. walks the passes, extending the content-addressed *chain key* (see
+   :mod:`repro.pipeline.cache`) pass by pass; a cache hit restores the
+   pass's artifacts, counters and diagnostics without executing it;
+3. returns a :class:`~repro.pipeline.report.PipelineReport` (also
+   stored on ``ctx.report``) with per-pass wall time and cache flags.
+
+Chain keys are only trusted while every artifact a pass consumes was
+itself produced under the chain (or seeded from a fingerprintable
+input artifact: source, loop, graph).  A pass consuming an untrusted
+artifact — e.g. a hand-seeded ``scheduled`` — simply runs uncached, as
+does everything after it; correctness never depends on the cache.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.errors import PipelineError
+
+from repro.pipeline.cache import ArtifactCache, CacheEntry, fingerprint, stable_hash
+from repro.pipeline.context import PRODUCERS, CompilationContext
+from repro.pipeline.passes import Pass, PassOutput
+from repro.pipeline.report import PassRecord, PipelineReport
+
+__all__ = ["PassManager", "collect_reports", "last_report"]
+
+#: Initial artifacts that can seed a cache chain (value-fingerprintable).
+_INPUT_KEYS = ("source", "loop", "graph", "original_graph", "unwound")
+
+_COLLECTORS: list[list[PipelineReport]] = []
+_LAST_REPORT: list[PipelineReport] = []
+
+
+@contextmanager
+def collect_reports() -> Iterator[list[PipelineReport]]:
+    """Collect every :class:`PipelineReport` produced inside the block.
+
+    Used by the CLI to attach aggregated pipeline telemetry to each
+    subcommand's ``--json`` export, however many compilations the
+    command triggered.
+    """
+    sink: list[PipelineReport] = []
+    _COLLECTORS.append(sink)
+    try:
+        yield sink
+    finally:
+        _COLLECTORS.remove(sink)
+
+
+def last_report() -> PipelineReport | None:
+    """The most recent report produced by any PassManager, if any."""
+    return _LAST_REPORT[-1] if _LAST_REPORT else None
+
+
+class PassManager:
+    """Runs a fixed sequence of passes over compilation contexts.
+
+    Parameters
+    ----------
+    passes:
+        The passes, in execution order.
+    cache:
+        An :class:`~repro.pipeline.cache.ArtifactCache`, or ``None``
+        to disable caching entirely.
+    """
+
+    def __init__(
+        self, passes: Sequence[Pass], *, cache: ArtifactCache | None = None
+    ) -> None:
+        if not passes:
+            raise PipelineError("PassManager needs at least one pass")
+        self.passes = list(passes)
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def validate(self, available: set[str]) -> None:
+        """Check pass ordering against an initial artifact set."""
+        have = set(available)
+        for p in self.passes:
+            missing = [k for k in p.requires if k not in have]
+            if missing:
+                hints = sorted(
+                    {
+                        PRODUCERS[k]
+                        for k in missing
+                        if k in PRODUCERS
+                    }
+                )
+                hint = (
+                    f"; run {', '.join(hints)} earlier in the pipeline "
+                    "or seed the context with the artifact"
+                    if hints
+                    else ""
+                )
+                raise PipelineError(
+                    f"{p.name} requires artifact(s) "
+                    f"{', '.join(repr(k) for k in missing)} not produced "
+                    f"by any earlier pass{hint}"
+                )
+            have.update(p.provides)
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: CompilationContext) -> PipelineReport:
+        """Execute (or cache-restore) every pass; returns the report."""
+        self.validate(set(ctx.artifacts))
+
+        seeded = [k for k in _INPUT_KEYS if k in ctx.artifacts]
+        chain = stable_hash(
+            "seed",
+            *[f"{k}={fingerprint(ctx.artifacts[k])}" for k in seeded],
+        )
+        trusted = set(seeded)
+
+        records: list[PassRecord] = []
+        for p in self.passes:
+            chain = stable_hash(chain, p.name, p.cache_fingerprint(ctx))
+            chain_ok = all(k in trusted for k in p.requires)
+            entry = (
+                self.cache.get(chain)
+                if (self.cache is not None and chain_ok)
+                else None
+            )
+            if entry is not None:
+                t0 = time.perf_counter()
+                ctx.artifacts.update(entry.artifacts)
+                ctx.diagnostics.extend(entry.diagnostics)
+                records.append(
+                    PassRecord(
+                        p.name,
+                        time.perf_counter() - t0,
+                        True,
+                        dict(entry.counters),
+                    )
+                )
+                trusted.update(entry.artifacts)
+                continue
+            out = PassOutput(p.name)
+            t0 = time.perf_counter()
+            p.run(ctx, out)
+            seconds = time.perf_counter() - t0
+            ctx.artifacts.update(out.artifacts)
+            ctx.diagnostics.extend(out.diagnostics)
+            if self.cache is not None and chain_ok:
+                self.cache.put(
+                    chain,
+                    CacheEntry(
+                        dict(out.artifacts),
+                        dict(out.counters),
+                        tuple(out.diagnostics),
+                    ),
+                )
+            if chain_ok:
+                trusted.update(out.artifacts)
+            records.append(
+                PassRecord(p.name, seconds, False, dict(out.counters))
+            )
+
+        report = PipelineReport(
+            passes=tuple(records), diagnostics=tuple(ctx.diagnostics)
+        )
+        ctx.report = report
+        _LAST_REPORT.append(report)
+        del _LAST_REPORT[:-1]
+        for sink in _COLLECTORS:
+            sink.append(report)
+        return report

@@ -1,0 +1,155 @@
+"""Pipeline instrumentation: per-pass records, diagnostics, reports.
+
+Every :meth:`repro.pipeline.manager.PassManager.run` produces a
+:class:`PipelineReport` — one :class:`PassRecord` per pass (wall time,
+cache hit/miss, pass-specific counters) plus the structured
+:class:`Diagnostic` messages the passes emitted.  The report is the
+single source of truth for the ``repro-mimd stages`` subcommand, the
+``--json`` export of every CLI subcommand, and the caching benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Diagnostic",
+    "PassRecord",
+    "PipelineReport",
+    "aggregate_reports",
+]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A structured message from one pass.
+
+    ``severity`` is ``'info'`` or ``'warning'``.  Diagnostics replace
+    silently-dropped decisions ("folding skipped", "loop is DOALL",
+    "graph split into components") with inspectable records; they are
+    replayed verbatim on cache hits so a warm compilation reports the
+    same story as a cold one.
+    """
+
+    severity: str
+    origin: str  # pass name
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.origin}: {self.message}"
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Instrumentation for one pass execution (or cache restoration)."""
+
+    name: str
+    seconds: float
+    cache_hit: bool
+    counters: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pass": self.name,
+            "seconds": round(self.seconds, 6),
+            "cache_hit": self.cache_hit,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Everything one pipeline run measured."""
+
+    passes: tuple[PassRecord, ...]
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.passes)
+
+    @property
+    def executed(self) -> tuple[PassRecord, ...]:
+        """Records of passes that actually ran (cache misses)."""
+        return tuple(r for r in self.passes if not r.cache_hit)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.passes if r.cache_hit)
+
+    def record(self, name: str) -> PassRecord:
+        """The record for pass ``name`` (raises ``KeyError`` if absent)."""
+        for r in self.passes:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total_seconds": round(self.total_seconds, 6),
+            "cache_hits": self.cache_hits,
+            "passes": [r.to_dict() for r in self.passes],
+            "diagnostics": [
+                {
+                    "severity": d.severity,
+                    "origin": d.origin,
+                    "message": d.message,
+                }
+                for d in self.diagnostics
+            ],
+        }
+
+    def format(self) -> str:
+        """Human-readable per-pass timing table."""
+        width = max((len(r.name) for r in self.passes), default=4)
+        lines = [f"  {'pass':<{width}}  {'time':>10}  cache  counters"]
+        for r in self.passes:
+            counters = " ".join(f"{k}={v}" for k, v in r.counters.items())
+            hit = "hit" if r.cache_hit else "-"
+            lines.append(
+                f"  {r.name:<{width}}  {r.seconds * 1e3:>8.3f}ms  "
+                f"{hit:<5}  {counters}"
+            )
+        lines.append(
+            f"  {'total':<{width}}  {self.total_seconds * 1e3:>8.3f}ms  "
+            f"({self.cache_hits}/{len(self.passes)} cached)"
+        )
+        for d in self.diagnostics:
+            lines.append(f"  {d}")
+        return "\n".join(lines)
+
+
+def aggregate_reports(
+    reports: Sequence[PipelineReport] | Iterable[PipelineReport],
+) -> dict[str, Any]:
+    """Summarize many pipeline runs (one CLI command may run hundreds).
+
+    Returns per-pass totals — runs, cache hits, cumulative seconds —
+    plus overall totals and the deduplicated warning diagnostics.
+    """
+    reports = list(reports)
+    per_pass: dict[str, dict[str, Any]] = {}
+    warnings: list[str] = []
+    seen: set[str] = set()
+    for rep in reports:
+        for r in rep.passes:
+            slot = per_pass.setdefault(
+                r.name, {"runs": 0, "cache_hits": 0, "seconds": 0.0}
+            )
+            slot["runs"] += 1
+            slot["cache_hits"] += int(r.cache_hit)
+            slot["seconds"] += r.seconds
+        for d in rep.diagnostics:
+            if d.severity == "warning" and str(d) not in seen:
+                seen.add(str(d))
+                warnings.append(str(d))
+    for slot in per_pass.values():
+        slot["seconds"] = round(slot["seconds"], 6)
+    return {
+        "pipelines": len(reports),
+        "total_seconds": round(sum(r.total_seconds for r in reports), 6),
+        "cache_hits": sum(r.cache_hits for r in reports),
+        "passes": per_pass,
+        "warnings": warnings,
+    }
