@@ -1,0 +1,67 @@
+"""Campaign runner cost: serial vs parallel fan-out, cold vs warm disk.
+
+The runner must (a) add negligible overhead over the historical serial
+loop when ``workers=1``, and (b) make a warm re-run — even from a
+cold-started process — execute zero scheduler passes thanks to the
+on-disk cache tier.  These benchmarks pin both properties and record
+the observed numbers for EXPERIMENTS.md's wall-clock table.
+"""
+
+from repro.experiments import table1_cells
+from repro.pipeline import default_cache
+from repro.runner import DiskCache, run_campaign
+
+from benchmarks.conftest import record
+
+SEEDS = [1, 2, 3, 4]
+ITER = 30
+
+
+def _cells():
+    return table1_cells(SEEDS, iterations=ITER)
+
+
+def test_serial_campaign(benchmark):
+    """workers=1 — the baseline the parallel paths are measured against."""
+
+    def run():
+        default_cache().clear()
+        return run_campaign(_cells(), workers=1)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok and len(result.results) == len(SEEDS) * 3
+    record(benchmark, cells=len(result.results), workers=1)
+
+
+def test_parallel_campaign(benchmark):
+    """workers=2 — same cells, fanned out over a process pool."""
+
+    def run():
+        return run_campaign(_cells(), workers=2)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok
+    assert result.to_dict()["cells"] == run_campaign(
+        _cells(), workers=1
+    ).to_dict()["cells"], "parallel must be bit-identical to serial"
+    record(benchmark, cells=len(result.results), workers=2)
+
+
+def test_warm_disk_campaign(benchmark, tmp_path):
+    """Second run against a populated disk cache: zero passes executed."""
+    cache_dir = str(tmp_path / "artifacts")
+    run_campaign(_cells(), workers=1, cache_dir=cache_dir)  # populate
+
+    def run():
+        default_cache().clear()  # simulate a cold-started process
+        return run_campaign(_cells(), workers=1, cache_dir=cache_dir)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    passes = result.pipeline_summary()["passes"]
+    executed = sum(s["runs"] - s["cache_hits"] for s in passes.values())
+    assert executed == 0, f"warm campaign executed {executed} passes"
+    record(
+        benchmark,
+        passes_executed=executed,
+        disk_entries=len(DiskCache(cache_dir)),
+    )

@@ -13,9 +13,17 @@ Usage::
     repro-mimd sweep         # communication-cost robustness sweep
     repro-mimd codegen       # Fig. 10-style partitioned code for fig7
     repro-mimd stages fig7   # per-pass pipeline timings, cold vs warm
+    repro-mimd campaign table1 --workers 4   # sharded parallel campaign
     repro-mimd all           # everything above
 
 ``python -m repro.cli <experiment>`` works identically.
+
+``campaign`` runs the Table 1 / comm-sweep campaigns through the
+fault-tolerant parallel runner (:mod:`repro.runner`): ``--workers N``
+fans cells out over a process pool, ``--shard i/n`` executes one
+shard of the campaign, ``--cache-dir`` shares scheduler results on
+disk across workers and runs, and per-cell observability is written
+to ``BENCH_campaign.json``.
 
 Every subcommand supports ``--json PATH``: the experiment payload is
 written together with aggregated pipeline telemetry (per-pass wall
@@ -295,6 +303,82 @@ def _cmd_schedule(args: argparse.Namespace):
     return {"file": args.file, "report": text}
 
 
+def _parse_seed_spec(spec: str) -> list[int]:
+    """Parse ``"1,2,5-8"`` into ``[1, 2, 5, 6, 7, 8]``."""
+    seeds: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def _cmd_campaign(args: argparse.Namespace):
+    """Run a campaign through the sharded fault-tolerant runner."""
+    from repro.experiments import sweep_cells, table1_cells
+    from repro.report import to_json
+    from repro.runner import run_campaign
+    from repro.workloads import paper_seeds
+
+    target = args.file or "table1"
+    if target == "table1":
+        seeds = (
+            _parse_seed_spec(args.seeds) if args.seeds else paper_seeds()
+        )
+        cells = table1_cells(seeds, iterations=args.iterations)
+    elif target == "sweep":
+        seeds = (
+            _parse_seed_spec(args.seeds) if args.seeds else paper_seeds()[:10]
+        )
+        cells = sweep_cells(seeds, iterations=args.iterations)
+    else:
+        raise SystemExit(
+            f"campaign: unknown target {target!r} (use 'table1' or 'sweep')"
+        )
+
+    campaign = run_campaign(
+        cells,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        shard=args.shard,
+    )
+    shard_note = f", shard {args.shard}" if args.shard else ""
+    print(
+        f"campaign {target!r}: {len(campaign.results)} of "
+        f"{len(campaign.cells)} cells executed with "
+        f"{campaign.workers} worker(s){shard_note} in "
+        f"{campaign.wall_seconds:.2f}s"
+    )
+    agg = campaign.pipeline_summary()
+    print(
+        f"  pipeline: {agg['pipelines']} compilations, "
+        f"{agg['cache_hits']} pass-level cache hits"
+    )
+    for r in campaign.results:
+        status = "ok" if r.ok else f"FAILED ({r.error})"
+        print(
+            f"  {r.cell.cell_id:<40} {r.seconds * 1e3:8.1f}ms  "
+            f"attempt {r.attempts}  pid {r.worker_pid or '-'}  {status}"
+        )
+    if campaign.failed_cells:
+        print(
+            f"  PARTIAL RESULT: {len(campaign.failed_cells)} cell(s) "
+            "failed after retries: "
+            + ", ".join(r.cell.cell_id for r in campaign.failed_cells)
+        )
+    payload = campaign.to_dict()
+    to_json(payload, args.bench)
+    print(f"(wrote {args.bench})")
+    return payload
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig1": _cmd_fig1,
     "fig3": _cmd_fig3,
@@ -344,15 +428,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all", "schedule"],
-        help="which artifact to regenerate, 'schedule' for a file, or "
-        "'stages' for per-pass pipeline timings",
+        choices=[*_COMMANDS, "all", "schedule", "campaign"],
+        help="which artifact to regenerate, 'schedule' for a file, "
+        "'stages' for per-pass pipeline timings, or 'campaign' for the "
+        "sharded parallel runner",
     )
     parser.add_argument(
         "file",
         nargs="?",
-        help="mini-language loop file (for 'schedule'), or workload "
-        "name / loop file (for 'stages', default fig7)",
+        help="mini-language loop file (for 'schedule'), workload "
+        "name / loop file (for 'stages', default fig7), or campaign "
+        "target 'table1'/'sweep' (for 'campaign', default table1)",
     )
     parser.add_argument(
         "--iterations",
@@ -383,12 +469,58 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the experiment's result (with pipeline "
         "telemetry) as JSON to PATH",
     )
+    campaign_opts = parser.add_argument_group("campaign options")
+    campaign_opts.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for 'campaign' (default 1: serial)",
+    )
+    campaign_opts.add_argument(
+        "--shard",
+        metavar="i/n",
+        help="execute only shard i of n (0-based) of the campaign",
+    )
+    campaign_opts.add_argument(
+        "--seeds",
+        metavar="SPEC",
+        help="seed list for 'campaign', e.g. '1,2,5-8' (default: the "
+        "paper's seeds)",
+    )
+    campaign_opts.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="shared on-disk artifact cache for campaign workers",
+    )
+    campaign_opts.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget (default: unlimited)",
+    )
+    campaign_opts.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts for failed/crashed/timed-out cells "
+        "(default 1)",
+    )
+    campaign_opts.add_argument(
+        "--bench",
+        metavar="PATH",
+        default="BENCH_campaign.json",
+        help="where 'campaign' writes per-cell observability "
+        "(default BENCH_campaign.json)",
+    )
     args = parser.parse_args(argv)
     with collect_reports() as reports:
         if args.experiment == "schedule":
             if not args.file:
                 parser.error("'schedule' needs a loop file")
             payload = _cmd_schedule(args)
+        elif args.experiment == "campaign":
+            payload = _cmd_campaign(args)
         elif args.experiment == "all":
             payload = {"experiments": {}}
             for name, fn in _COMMANDS.items():

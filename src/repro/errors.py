@@ -67,3 +67,13 @@ class CodegenError(ReproError):
 
 class ValidationError(ReproError):
     """A schedule or program violates a correctness invariant."""
+
+
+class CampaignError(ReproError):
+    """An experiment campaign could not produce a complete result.
+
+    Raised by the strict entry points (``run_table1``,
+    ``run_comm_sweep``) when cells failed after retries; the message
+    lists the failed cells.  The campaign runner itself never raises
+    this — it returns a partial result with ``failed_cells`` set.
+    """

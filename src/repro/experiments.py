@@ -34,7 +34,6 @@ from repro.workloads import (
     fig7,
     livermore18,
     paper_seeds,
-    random_cyclic_loop,
 )
 from repro.workloads.base import Workload
 
@@ -54,6 +53,8 @@ __all__ = [
     "run_fig12",
     "run_table1",
     "run_comm_sweep",
+    "sweep_cells",
+    "table1_cells",
     "DEFAULT_ITERATIONS",
 ]
 
@@ -62,7 +63,15 @@ DEFAULT_ITERATIONS = 100
 
 @dataclass(frozen=True)
 class Measurement:
-    """Ours-vs-DOACROSS on one workload."""
+    """Ours-vs-DOACROSS on one workload.
+
+    When the parallel schedule would have been slower than sequential
+    execution, the compiler (like the paper's) falls back to the
+    sequential code; ``fell_back`` records that, and ``ours_rate`` /
+    ``total_processors`` then describe the code that actually ran —
+    the sequential loop (one processor, one body per iteration) — not
+    the discarded parallel schedule.
+    """
 
     name: str
     iterations: int
@@ -73,6 +82,7 @@ class Measurement:
     doacross_delay: int
     total_processors: int
     paper: Mapping[str, float] = field(default_factory=dict)
+    fell_back: bool = False
 
     @property
     def sp_ours(self) -> float:
@@ -110,7 +120,9 @@ def measure(
         iterations=iterations, use_runtime=True, **schedule_kwargs
     ).run(ctx)
     ours = ctx.scheduled
-    ours_par = min(ctx.evaluation.makespan(), seq)
+    parallel_makespan = ctx.evaluation.makespan()
+    fell_back = parallel_makespan > seq
+    ours_par = min(parallel_makespan, seq)
 
     dm = (
         m
@@ -126,10 +138,15 @@ def measure(
         sequential=seq,
         ours=ours_par,
         doacross=doa_par,
-        ours_rate=ours.steady_cycles_per_iteration(),
+        ours_rate=(
+            float(g.total_latency())
+            if fell_back
+            else ours.steady_cycles_per_iteration()
+        ),
         doacross_delay=doa.delay,
-        total_processors=ours.total_processors,
+        total_processors=1 if fell_back else ours.total_processors,
         paper=dict(workload.paper),
+        fell_back=fell_back,
     )
 
 
@@ -271,6 +288,32 @@ class Table1Result:
         return sum(1 for r in self.rows if r.sp[mm][0] < r.sp[mm][1])
 
 
+def table1_cells(
+    seeds: Sequence[int],
+    *,
+    mms: Sequence[int] = (1, 3, 5),
+    iterations: int = 50,
+    k: int = 3,
+    processors: int = 8,
+    mode: str = "worst",
+) -> list:
+    """The campaign cells of Table 1, in the canonical (seed, mm) order."""
+    from repro.runner import table1_cell
+
+    return [
+        table1_cell(
+            seed,
+            mm,
+            iterations=iterations,
+            k=k,
+            processors=processors,
+            mode=mode,
+        )
+        for seed in seeds
+        for mm in mms
+    ]
+
+
 def run_table1(
     seeds: Sequence[int] | None = None,
     *,
@@ -279,6 +322,8 @@ def run_table1(
     k: int = 3,
     processors: int = 8,
     mode: str = "worst",
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> Table1Result:
     """Reproduce Table 1(a)/(b).
 
@@ -286,19 +331,38 @@ def run_table1(
     per fluctuation level (the schedule itself only depends on the
     estimate ``k``, but each level carries its own run-time cost
     model) and executed on the simulated multiprocessor.
+
+    The (seed, mm) cells run through the campaign runner:
+    ``workers=1`` (default) executes them serially in-process exactly
+    as before; ``workers=N`` fans out over a process pool with
+    bit-identical results.  ``cache_dir`` enables the shared on-disk
+    artifact cache tier (see :mod:`repro.runner`).  Any cell failure
+    raises :class:`~repro.errors.CampaignError`; use
+    :func:`repro.runner.run_campaign` directly for partial results.
     """
+    from repro.runner import run_campaign
+
     seeds = list(seeds) if seeds is not None else paper_seeds()
+    cells = table1_cells(
+        seeds,
+        mms=mms,
+        iterations=iterations,
+        k=k,
+        processors=processors,
+        mode=mode,
+    )
+    campaign = run_campaign(
+        cells, workers=workers, cache_dir=cache_dir
+    ).raise_on_failure()
     rows: list[Table1Row] = []
+    cell_iter = iter(campaign.results)
     for seed in seeds:
         sp: dict[int, tuple[float, float]] = {}
         cyclic_nodes = 0
-        for mm in mms:
-            w = random_cyclic_loop(
-                seed, k=k, mm=mm, mode=mode, processors=processors
-            )
-            cyclic_nodes = len(w.graph)
-            m = measure(w, iterations)
-            sp[mm] = (m.sp_ours, m.sp_doacross)
+        for _mm in mms:
+            res = next(cell_iter)
+            cyclic_nodes = res.value["cyclic_nodes"]
+            sp[_mm] = (res.value["sp_ours"], res.value["sp_doacross"])
         rows.append(Table1Row(seed, cyclic_nodes, sp))
     return Table1Result(rows=rows, mms=list(mms), iterations=iterations)
 
@@ -359,6 +423,30 @@ class CommSweepPoint:
     sp_doacross: float
 
 
+def sweep_cells(
+    seeds: Sequence[int],
+    *,
+    estimate_k: int = 3,
+    true_ks: Sequence[int] = (3, 5, 7, 9, 11, 14),
+    iterations: int = 50,
+    processors: int = 8,
+) -> list:
+    """The comm-sweep campaign cells, in canonical (true_k, seed) order."""
+    from repro.runner import sweep_cell
+
+    return [
+        sweep_cell(
+            seed,
+            true_k,
+            estimate_k=estimate_k,
+            iterations=iterations,
+            processors=processors,
+        )
+        for true_k in true_ks
+        for seed in seeds
+    ]
+
+
 def run_comm_sweep(
     seeds: Sequence[int] | None = None,
     *,
@@ -366,6 +454,8 @@ def run_comm_sweep(
     true_ks: Sequence[int] = (3, 5, 7, 9, 11, 14),
     iterations: int = 50,
     processors: int = 8,
+    workers: int = 1,
+    cache_dir: str | None = None,
 ) -> list[CommSweepPoint]:
     """Schedule with ``k = estimate_k``; run with ever-costlier links.
 
@@ -373,19 +463,31 @@ def run_comm_sweep(
     actual cost of communication is relatively high (7 times the basic
     node execution time)" and the estimate is far off.  ``mm`` is
     chosen so the worst-case run-time cost equals ``true_k``.
+
+    Like :func:`run_table1`, the (true_k, seed) cells run through the
+    campaign runner; ``workers``/``cache_dir`` behave identically.
     """
+    from repro.runner import run_campaign
+
     seeds = list(seeds) if seeds is not None else paper_seeds()[:10]
+    cells = sweep_cells(
+        seeds,
+        estimate_k=estimate_k,
+        true_ks=true_ks,
+        iterations=iterations,
+        processors=processors,
+    )
+    campaign = run_campaign(
+        cells, workers=workers, cache_dir=cache_dir
+    ).raise_on_failure()
     points: list[CommSweepPoint] = []
+    cell_iter = iter(campaign.results)
     for true_k in true_ks:
-        mm = max(1, true_k - estimate_k + 1)
         ours_sp, doa_sp = [], []
-        for seed in seeds:
-            w = random_cyclic_loop(
-                seed, k=estimate_k, mm=mm, mode="worst", processors=processors
-            )
-            m = measure(w, iterations)
-            ours_sp.append(m.sp_ours)
-            doa_sp.append(m.sp_doacross)
+        for _seed in seeds:
+            res = next(cell_iter)
+            ours_sp.append(res.value["sp_ours"])
+            doa_sp.append(res.value["sp_doacross"])
         points.append(
             CommSweepPoint(
                 true_k, statistics.mean(ours_sp), statistics.mean(doa_sp)

@@ -57,6 +57,7 @@ from repro.pipeline.report import (
     PassRecord,
     PipelineReport,
     aggregate_reports,
+    merge_aggregated,
 )
 
 __all__ = [
@@ -89,6 +90,7 @@ __all__ = [
     "last_report",
     "machine_compile_fingerprint",
     "machine_runtime_fingerprint",
+    "merge_aggregated",
     "scheduling_passes",
 ]
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Mapping
 
@@ -37,6 +38,7 @@ __all__ = [
     "fingerprint",
     "machine_compile_fingerprint",
     "machine_runtime_fingerprint",
+    "set_default_cache",
     "stable_hash",
 ]
 
@@ -126,45 +128,57 @@ class ArtifactCache:
     Artifacts are immutable by convention (frozen dataclasses, graphs
     never mutated after construction), so entries are shared between
     compilations without copying.
+
+    All operations hold an internal :class:`threading.RLock`: the
+    process-wide :func:`default_cache` is shared by every compilation,
+    and concurrent callers (the campaign runner's serial path, user
+    threads) would otherwise race on the ``OrderedDict`` reordering
+    and the hit/miss counters.
     """
 
     def __init__(self, maxsize: int = 512) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str) -> CacheEntry | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: str, entry: CacheEntry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 _DEFAULT_CACHE = ArtifactCache(maxsize=512)
@@ -173,3 +187,17 @@ _DEFAULT_CACHE = ArtifactCache(maxsize=512)
 def default_cache() -> ArtifactCache:
     """The process-wide cache shared by the compatibility wrappers."""
     return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: ArtifactCache) -> ArtifactCache:
+    """Swap the process-wide cache; returns the previous one.
+
+    The campaign runner installs a two-tier (memory + disk) cache in
+    each worker process so sibling workers — and later runs — share
+    scheduler results.  Callers that swap temporarily must restore the
+    previous cache in a ``finally``.
+    """
+    global _DEFAULT_CACHE
+    prev = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return prev

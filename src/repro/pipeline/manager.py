@@ -54,7 +54,14 @@ def collect_reports() -> Iterator[list[PipelineReport]]:
     try:
         yield sink
     finally:
-        _COLLECTORS.remove(sink)
+        # remove by identity, not equality: nested collectors routinely
+        # hold equal report lists (e.g. the campaign runner's per-cell
+        # collector inside the CLI's command-level one), and
+        # list.remove() would pop the wrong sink.
+        for i, s in enumerate(_COLLECTORS):
+            if s is sink:
+                del _COLLECTORS[i]
+                break
 
 
 def last_report() -> PipelineReport | None:

@@ -18,6 +18,7 @@ __all__ = [
     "PassRecord",
     "PipelineReport",
     "aggregate_reports",
+    "merge_aggregated",
 ]
 
 
@@ -153,3 +154,41 @@ def aggregate_reports(
         "passes": per_pass,
         "warnings": warnings,
     }
+
+
+def merge_aggregated(summaries: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Merge several :func:`aggregate_reports` outputs into one.
+
+    The campaign runner's workers each aggregate their own pipeline
+    reports in-process (``PipelineReport`` objects do not cross the
+    process boundary) and ship the summary dicts home; this folds them
+    into one dict of the same shape, so a sharded campaign reports
+    pipeline telemetry identically to a serial run.
+    """
+    merged: dict[str, Any] = {
+        "pipelines": 0,
+        "total_seconds": 0.0,
+        "cache_hits": 0,
+        "passes": {},
+        "warnings": [],
+    }
+    seen: set[str] = set()
+    for s in summaries:
+        merged["pipelines"] += s.get("pipelines", 0)
+        merged["total_seconds"] += s.get("total_seconds", 0.0)
+        merged["cache_hits"] += s.get("cache_hits", 0)
+        for name, slot in s.get("passes", {}).items():
+            tgt = merged["passes"].setdefault(
+                name, {"runs": 0, "cache_hits": 0, "seconds": 0.0}
+            )
+            tgt["runs"] += slot.get("runs", 0)
+            tgt["cache_hits"] += slot.get("cache_hits", 0)
+            tgt["seconds"] += slot.get("seconds", 0.0)
+        for w in s.get("warnings", ()):
+            if w not in seen:
+                seen.add(w)
+                merged["warnings"].append(w)
+    merged["total_seconds"] = round(merged["total_seconds"], 6)
+    for slot in merged["passes"].values():
+        slot["seconds"] = round(slot["seconds"], 6)
+    return merged

@@ -42,6 +42,7 @@ def measurement_to_dict(m: Measurement) -> dict[str, Any]:
         "ours_rate_cycles_per_iteration": m.ours_rate,
         "doacross_delay": m.doacross_delay,
         "processors": m.total_processors,
+        "fell_back": m.fell_back,
         "paper": dict(m.paper),
     }
 

@@ -13,7 +13,8 @@ def format_measurement(m: Measurement) -> str:
     """A paper-vs-measured block for one workload."""
     lines = [
         f"{m.name}: {m.iterations} iterations, "
-        f"{m.total_processors} processors",
+        f"{m.total_processors} processors"
+        + (" (fell back to sequential)" if m.fell_back else ""),
         f"  sequential {m.sequential} cycles; ours {m.ours} "
         f"(rate {m.ours_rate:.3g} cycles/iter); "
         f"doacross {m.doacross} (delay {m.doacross_delay})",

@@ -1,0 +1,401 @@
+"""Sharded, fault-tolerant execution of experiment campaigns.
+
+:func:`run_campaign` fans a list of :class:`~repro.runner.cells.Cell`
+out over a ``ProcessPoolExecutor`` and merges the per-cell payloads
+back *in cell order*, so the result is deterministic regardless of
+worker count, completion order, retries or sharding — the property
+``run_table1``/``run_comm_sweep`` rely on to stay bit-identical to
+their historical serial implementations.
+
+Failure semantics (per cell):
+
+* an exception inside the cell is caught in the worker and shipped
+  home as a failed payload — it never tears down the pool;
+* a worker *crash* (``BrokenProcessPool``) or a cell exceeding
+  ``cell_timeout`` abandons the current pool — surviving results are
+  kept, the hung/crashed workers are killed, and the unfinished cells
+  are resubmitted to a fresh pool;
+* every cell gets at most ``1 + retries`` attempts; cells still
+  failing land in :attr:`CampaignResult.failed_cells` and the campaign
+  returns a *partial* result instead of raising.
+
+Observability: each cell records wall time, worker pid, attempt count
+and its aggregated pipeline telemetry (pass runs / cache hits /
+seconds, via :func:`repro.pipeline.report.aggregate_reports`); the
+campaign merges them with
+:func:`repro.pipeline.report.merge_aggregated` and exposes the whole
+story through :meth:`CampaignResult.to_dict` — which the CLI writes as
+``BENCH_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import CampaignError, ReproError
+from repro.pipeline.cache import default_cache, set_default_cache
+from repro.pipeline.report import aggregate_reports, merge_aggregated
+from repro.runner.cells import Cell, execute_cell
+from repro.runner.diskcache import DiskCache, TieredCache
+
+__all__ = [
+    "CampaignResult",
+    "CellResult",
+    "parse_shard",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell: payload or failure, plus instrumentation."""
+
+    cell: Cell
+    index: int
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    seconds: float = 0.0
+    attempts: int = 1
+    worker_pid: int | None = None
+    pipeline: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cell": self.cell.cell_id,
+            "index": self.index,
+            "ok": self.ok,
+            "value": self.value,
+            "error": self.error,
+            "seconds": round(self.seconds, 6),
+            "attempts": self.attempts,
+            "worker_pid": self.worker_pid,
+            "cache_hits": self.pipeline.get("cache_hits", 0),
+            "pipelines": self.pipeline.get("pipelines", 0),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Deterministic merge of a campaign's cells (possibly partial)."""
+
+    cells: tuple[Cell, ...]  #: the full campaign, before sharding
+    results: tuple[CellResult, ...]  #: executed cells, in cell order
+    workers: int
+    shard: tuple[int, int] | None
+    wall_seconds: float
+    cache_dir: str | None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_cells
+
+    @property
+    def failed_cells(self) -> tuple[CellResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    @property
+    def completed(self) -> tuple[CellResult, ...]:
+        return tuple(r for r in self.results if r.ok)
+
+    def value(self, cell: Cell) -> Any:
+        """The payload of ``cell``; raises if it failed or was sharded out."""
+        for r in self.results:
+            if r.cell == cell:
+                if not r.ok:
+                    raise CampaignError(
+                        f"cell {cell.cell_id} failed: {r.error}"
+                    )
+                return r.value
+        raise CampaignError(
+            f"cell {cell.cell_id} was not executed (sharded out?)"
+        )
+
+    def pipeline_summary(self) -> dict[str, Any]:
+        """All cells' pipeline telemetry merged into one aggregate."""
+        return merge_aggregated(r.pipeline for r in self.results if r.pipeline)
+
+    def raise_on_failure(self) -> "CampaignResult":
+        if self.failed_cells:
+            failed = ", ".join(r.cell.cell_id for r in self.failed_cells)
+            first = self.failed_cells[0]
+            raise CampaignError(
+                f"{len(self.failed_cells)}/{len(self.results)} campaign "
+                f"cells failed after {first.attempts} attempt(s): {failed} "
+                f"(first error: {first.error})"
+            )
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready export: deterministic payloads + run statistics.
+
+        ``cells`` holds only reproducible content (ids, payloads) so
+        two runs with different worker counts compare bit-identically;
+        timing, pids and cache behaviour live under ``stats``.
+        """
+        return {
+            "cells": [
+                {"cell": r.cell.cell_id, "ok": r.ok, "value": r.value}
+                for r in self.results
+            ],
+            "failed_cells": [r.cell.cell_id for r in self.failed_cells],
+            "stats": {
+                "workers": self.workers,
+                "shard": (
+                    f"{self.shard[0]}/{self.shard[1]}" if self.shard else None
+                ),
+                "cache_dir": self.cache_dir,
+                "wall_seconds": round(self.wall_seconds, 6),
+                "executed_cells": len(self.results),
+                "campaign_cells": len(self.cells),
+                "per_cell": [r.to_dict() for r in self.results],
+                "pipeline_report": self.pipeline_summary(),
+            },
+        }
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse ``"i/n"`` (0-based shard index over n shards)."""
+    try:
+        index_s, total_s = spec.split("/", 1)
+        index, total = int(index_s), int(total_s)
+    except ValueError:
+        raise ReproError(
+            f"shard spec must look like 'i/n', got {spec!r}"
+        ) from None
+    if total < 1 or not 0 <= index < total:
+        raise ReproError(
+            f"shard index must satisfy 0 <= i < n, got {spec!r}"
+        )
+    return index, total
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _install_tiered_cache(cache_dir: str | None) -> None:
+    if cache_dir:
+        set_default_cache(TieredCache(DiskCache(cache_dir)))
+
+
+def _worker_init(cache_dir: str | None) -> None:  # pragma: no cover - subprocess
+    _install_tiered_cache(cache_dir)
+
+
+def _cell_task(cell: Cell) -> dict[str, Any]:
+    """Run one cell; always returns a picklable outcome dict.
+
+    Cell-level exceptions are converted to data here so they ride the
+    normal result channel — only worker death or a timeout surfaces as
+    a future-level failure in the parent.
+    """
+    from repro.pipeline.manager import collect_reports
+
+    t0 = time.perf_counter()
+    try:
+        with collect_reports() as reports:
+            value = execute_cell(cell)
+        return {
+            "ok": True,
+            "value": value,
+            "seconds": time.perf_counter() - t0,
+            "pid": os.getpid(),
+            "pipeline": aggregate_reports(reports),
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "seconds": time.perf_counter() - t0,
+            "pid": os.getpid(),
+            "pipeline": {},
+        }
+
+
+def _result_from_payload(
+    cell: Cell, index: int, payload: Mapping[str, Any], attempts: int
+) -> CellResult:
+    return CellResult(
+        cell=cell,
+        index=index,
+        ok=bool(payload["ok"]),
+        value=payload.get("value"),
+        error=payload.get("error"),
+        seconds=payload.get("seconds", 0.0),
+        attempts=attempts,
+        worker_pid=payload.get("pid"),
+        pipeline=payload.get("pipeline", {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def _abandon_pool(ex: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: kill workers, then reap them.
+
+    Used after a timeout or crash — a hung worker would otherwise keep
+    running (and keep interpreter shutdown hostage via the executor's
+    atexit join).  Killing is safe: every cell is independent and
+    idempotent, and the disk cache tier writes atomically.
+    """
+    for proc in list(getattr(ex, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    ex.shutdown(wait=True, cancel_futures=True)
+
+
+def _parallel_wave(
+    cells: Sequence[Cell],
+    indices: Sequence[int],
+    workers: int,
+    cache_dir: str | None,
+    cell_timeout: float | None,
+) -> tuple[dict[int, dict[str, Any]], dict[int, str]]:
+    """One submission wave. Returns (payloads by index, unfinished)."""
+    payloads: dict[int, dict[str, Any]] = {}
+    unfinished: dict[int, str] = {}
+    ex = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(cache_dir,),
+    )
+    broken = False
+    try:
+        futures = {i: ex.submit(_cell_task, cells[i]) for i in indices}
+        for i, fut in futures.items():
+            if broken:
+                # Pool already abandoned: salvage whatever finished.
+                if fut.done():
+                    try:
+                        payloads[i] = fut.result(timeout=0)
+                        continue
+                    except Exception:
+                        pass
+                unfinished.setdefault(i, "worker pool abandoned")
+                continue
+            try:
+                payloads[i] = fut.result(timeout=cell_timeout)
+            except concurrent.futures.TimeoutError:
+                unfinished[i] = (
+                    f"cell exceeded timeout of {cell_timeout}s"
+                )
+                broken = True
+            except BrokenProcessPool:
+                unfinished[i] = "worker process crashed"
+                broken = True
+            except Exception as exc:  # submission/pickling trouble
+                unfinished[i] = f"{type(exc).__name__}: {exc}"
+    finally:
+        if broken:
+            _abandon_pool(ex)
+        else:
+            ex.shutdown(wait=True)
+    return payloads, unfinished
+
+
+def run_campaign(
+    cells: Sequence[Cell],
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+    cell_timeout: float | None = None,
+    retries: int = 1,
+    shard: tuple[int, int] | str | None = None,
+) -> CampaignResult:
+    """Execute a campaign; returns a (possibly partial) merged result.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs every cell in-process, in order — exactly the
+        historical serial behaviour; ``N > 1`` fans out over a process
+        pool.
+    cache_dir:
+        Directory for the shared on-disk artifact cache tier.  With it,
+        workers share scheduler results and a warm re-run executes zero
+        scheduler passes; without it each process only has its
+        in-memory cache.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds (``None``: no limit).
+    retries:
+        Extra attempts for cells that failed, crashed or timed out.
+    shard:
+        ``(i, n)`` or ``"i/n"``: execute only cells whose campaign
+        index is congruent to ``i`` mod ``n`` — for spreading one
+        campaign across machines/CI jobs.
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    if isinstance(shard, str):
+        shard = parse_shard(shard)
+
+    cells = tuple(cells)
+    selected = [
+        i
+        for i in range(len(cells))
+        if shard is None or i % shard[1] == shard[0]
+    ]
+
+    t0 = time.perf_counter()
+    results: dict[int, CellResult] = {}
+    last_error: dict[int, str] = {}
+    pending = list(selected)
+    attempt = 0
+    while pending and attempt <= retries:
+        attempt += 1
+        if workers == 1:
+            payloads: dict[int, dict[str, Any]] = {}
+            unfinished: dict[int, str] = {}
+            prev = default_cache()
+            _install_tiered_cache(cache_dir)
+            try:
+                for i in pending:
+                    payloads[i] = _cell_task(cells[i])
+            finally:
+                if cache_dir:
+                    set_default_cache(prev)
+        else:
+            payloads, unfinished = _parallel_wave(
+                cells, pending, workers, cache_dir, cell_timeout
+            )
+        still: list[int] = []
+        for i in pending:
+            if i in payloads:
+                res = _result_from_payload(cells[i], i, payloads[i], attempt)
+                if res.ok:
+                    results[i] = res
+                else:
+                    results[i] = res  # kept in case this was the last try
+                    last_error[i] = res.error or "cell failed"
+                    still.append(i)
+            else:
+                last_error[i] = unfinished.get(i, "cell never ran")
+                results[i] = CellResult(
+                    cell=cells[i],
+                    index=i,
+                    ok=False,
+                    error=last_error[i],
+                    attempts=attempt,
+                )
+                still.append(i)
+        pending = still
+
+    return CampaignResult(
+        cells=cells,
+        results=tuple(results[i] for i in sorted(results)),
+        workers=workers,
+        shard=shard,
+        wall_seconds=time.perf_counter() - t0,
+        cache_dir=cache_dir,
+    )

@@ -1,0 +1,151 @@
+"""On-disk artifact cache and the two-tier (memory + disk) composition.
+
+The pipeline's :class:`~repro.pipeline.cache.ArtifactCache` is
+per-process; a campaign fanned out over worker processes would re-run
+every scheduler pass in every worker.  :class:`DiskCache` persists
+:class:`~repro.pipeline.cache.CacheEntry` objects content-addressed by
+the *same chained pass keys* the in-memory cache uses (see
+``pipeline/cache.py``), so any process that computes — or merely
+needs — a pass output finds it under an identical key.
+
+:class:`TieredCache` stacks the in-memory LRU in front of the disk
+store: ``get`` consults memory first, then disk (promoting hits into
+memory); ``put`` writes through to both.  A campaign worker holding a
+``TieredCache`` therefore shares scheduler results with every sibling
+worker and with past runs — a warm re-run of ``run_table1`` executes
+zero scheduler passes even in a cold-started process.
+
+Durability notes: writes are atomic (temp file + ``os.replace``), so a
+worker killed mid-write never corrupts an entry; unreadable or
+unpicklable entries are treated as misses/skips, never errors — the
+cache is an accelerator, correctness always comes from re-running the
+pass.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+from repro.pipeline.cache import ArtifactCache, CacheEntry
+
+__all__ = ["DiskCache", "TieredCache"]
+
+_SUFFIX = ".pkl"
+
+
+class DiskCache:
+    """Content-addressed store of cache entries under one directory.
+
+    Keys are the pipeline's chained pass keys (hex digests); each maps
+    to one pickle file.  Safe for concurrent use by many processes:
+    writers are atomic, readers fall back to a miss on any error, and
+    two processes writing the same key write identical content (keys
+    are content addresses).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.put_errors = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + _SUFFIX)
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for f in os.listdir(self.root) if f.endswith(_SUFFIX)
+            )
+        except OSError:
+            return 0
+
+    def get(self, key: str) -> CacheEntry | None:
+        try:
+            with open(self._path(key), "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        try:
+            blob = pickle.dumps(entry)
+        except Exception:
+            # Unpicklable artifact: skip silently — the in-memory tier
+            # still serves this process; other processes recompute.
+            self.put_errors += 1
+            return
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            self.put_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        for f in os.listdir(self.root):
+            if f.endswith(_SUFFIX):
+                try:
+                    os.unlink(os.path.join(self.root, f))
+                except OSError:
+                    pass
+        self.hits = 0
+        self.misses = 0
+        self.put_errors = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "put_errors": self.put_errors,
+        }
+
+
+class TieredCache(ArtifactCache):
+    """In-memory LRU in front of a shared :class:`DiskCache`.
+
+    Drop-in everywhere an :class:`ArtifactCache` is accepted (it *is*
+    one).  The in-memory tier absorbs repeat lookups within a process;
+    the disk tier shares results across processes and runs.
+    """
+
+    def __init__(self, disk: DiskCache, maxsize: int = 512) -> None:
+        super().__init__(maxsize=maxsize)
+        self.disk = disk
+
+    def get(self, key: str) -> CacheEntry | None:
+        entry = super().get(key)
+        if entry is not None:
+            return entry
+        entry = self.disk.get(key)
+        if entry is None:
+            return None
+        # Promote, and count the lookup as a hit overall: the memory
+        # miss already recorded by super().get() is corrected here so
+        # stats() reflect what the *caller* observed.
+        with self._lock:
+            self.misses -= 1
+            self.hits += 1
+        super().put(key, entry)
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        super().put(key, entry)
+        self.disk.put(key, entry)
+
+    def stats(self) -> dict[str, int]:
+        s = super().stats()
+        s["disk"] = self.disk.stats()  # type: ignore[assignment]
+        return s

@@ -226,13 +226,37 @@ def simulate(
             try_start(proc_of[dst], time)
 
     if executed != len(proc_of):
-        stuck = [
-            order[j][ptr[j]]
-            for j in range(processors)
-            if ptr[j] < len(order[j])
-        ]
+        details = []
+        stuck_count = 0
+        for j in range(processors):
+            if ptr[j] >= len(order[j]):
+                continue
+            stuck_count += 1
+            op = order[j][ptr[j]]
+            missing = [p for p in local_preds[op] if p not in finished]
+            why = []
+            if missing:
+                why.append(
+                    "waiting on local predecessor(s) "
+                    + ", ".join(str(p) for p in missing)
+                )
+            if msgs_arrived[op] < expected_msgs[op]:
+                why.append(
+                    f"{msgs_arrived[op]}/{expected_msgs[op]} "
+                    "expected message(s) arrived"
+                )
+            details.append(
+                f"P{j} head {op}: " + ("; ".join(why) or "ready but never "
+                "started (engine bug)")
+            )
+        shown = "\n  ".join(details[:5])
+        more = (
+            f"\n  ... and {stuck_count - 5} more stuck processors"
+            if stuck_count > 5
+            else ""
+        )
         raise DeadlockError(
             f"simulation deadlocked with {len(proc_of) - executed} ops "
-            f"unexecuted; stuck heads: {stuck[:5]}"
+            f"unexecuted:\n  {shown}{more}"
         )
     return trace

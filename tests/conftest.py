@@ -18,6 +18,20 @@ settings.load_profile("repro")
 # ----------------------------------------------------------------------
 # fixtures
 # ----------------------------------------------------------------------
+@pytest.fixture(autouse=True)
+def _isolate_default_cache():
+    """Reset the process-wide artifact cache around every test.
+
+    The ``default_cache()`` singleton otherwise leaks state across
+    tests: hit/miss counters accumulate and entries survive between
+    test modules, so a test asserting cache behaviour could pass or
+    fail depending on what ran before it.
+    """
+    from repro.pipeline import default_cache
+
+    default_cache().clear()
+    yield
+    default_cache().clear()
 @pytest.fixture
 def fig7_workload():
     return fig7()

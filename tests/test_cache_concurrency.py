@@ -1,0 +1,85 @@
+"""ArtifactCache must be safe under concurrent use.
+
+Regression tests for the unlocked-cache bug: ``get``/``put`` mutated
+the ``OrderedDict`` (LRU reordering + eviction) and the hit/miss
+counters without a lock, so concurrent compilations could corrupt the
+dict or drop counter updates.  These tests hammer one cache from many
+threads; without the ``RLock`` they fail with ``RuntimeError``/
+``KeyError`` out of ``OrderedDict`` or with inconsistent counters.
+"""
+
+import threading
+
+from repro.pipeline import ArtifactCache
+from repro.pipeline.cache import CacheEntry
+
+THREADS = 8
+OPS = 400
+
+
+def entry(i):
+    return CacheEntry({"v": i}, {}, ())
+
+
+def hammer(cache, worker, errors, barrier):
+    try:
+        barrier.wait()
+        for i in range(OPS):
+            key = f"k{(worker * OPS + i) % 64}"
+            cache.put(key, entry(i))
+            cache.get(key)
+            cache.get(f"absent-{worker}-{i}")
+            if i % 50 == 0:
+                cache.stats()
+                len(cache)
+    except Exception as exc:  # pragma: no cover - only on regression
+        errors.append(exc)
+
+
+class TestConcurrentCache:
+    def _run(self, cache):
+        errors = []
+        barrier = threading.Barrier(THREADS)
+        threads = [
+            threading.Thread(target=hammer, args=(cache, w, errors, barrier))
+            for w in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+    def test_threads_hammering_shared_cache(self):
+        cache = ArtifactCache(maxsize=32)  # small: constant eviction
+        self._run(cache)
+        assert len(cache) <= 32
+
+    def test_counters_exact_under_contention(self):
+        cache = ArtifactCache(maxsize=1024)
+        self._run(cache)
+        # every thread does OPS hits (its own key, big enough cache)
+        # and OPS misses (the absent keys) — none may be lost
+        assert cache.hits == THREADS * OPS
+        assert cache.misses == THREADS * OPS
+
+    def test_concurrent_clear_is_safe(self):
+        cache = ArtifactCache(maxsize=64)
+        errors = []
+        stop = threading.Event()
+
+        def clearer():
+            try:
+                while not stop.is_set():
+                    cache.clear()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        t = threading.Thread(target=clearer)
+        t.start()
+        try:
+            self._run(cache)
+        finally:
+            stop.set()
+            t.join()
+        assert not errors, errors

@@ -87,3 +87,80 @@ def test_json_export_flag(tmp_path, capsys):
     data = json.loads(out.read_text())
     assert data["workload"] == "fig7"
     assert abs(data["sp_ours"] - 40.0) < 0.5
+
+
+class TestCampaignCommand:
+    def _run(self, tmp_path, *extra):
+        bench = tmp_path / "BENCH_campaign.json"
+        argv = [
+            "campaign",
+            "table1",
+            "--seeds",
+            "1-2",
+            "--iterations",
+            "10",
+            "--bench",
+            str(bench),
+            *extra,
+        ]
+        assert main(argv) == 0
+        import json
+
+        return json.loads(bench.read_text())
+
+    def test_serial_campaign_writes_bench_json(self, tmp_path, capsys):
+        data = self._run(tmp_path)
+        out = capsys.readouterr().out
+        assert "6 of 6 cells executed" in out
+        assert len(data["cells"]) == 6
+        assert data["failed_cells"] == []
+        assert data["stats"]["workers"] == 1
+        assert "pipeline_report" in data["stats"]
+
+    def test_parallel_bit_identical_to_serial(self, tmp_path, capsys):
+        serial = self._run(tmp_path, "--workers", "1")
+        parallel = self._run(tmp_path, "--workers", "2")
+        assert serial["cells"] == parallel["cells"]
+
+    def test_shard_executes_subset(self, tmp_path, capsys):
+        data = self._run(tmp_path, "--shard", "0/2")
+        assert len(data["cells"]) == 3
+        assert data["stats"]["shard"] == "0/2"
+        assert data["stats"]["campaign_cells"] == 6
+
+    def test_sweep_target(self, tmp_path, capsys):
+        bench = tmp_path / "b.json"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "sweep",
+                    "--seeds",
+                    "1,2",
+                    "--iterations",
+                    "10",
+                    "--bench",
+                    str(bench),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign 'sweep'" in out
+
+    def test_campaign_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        self._run(tmp_path, "--cache-dir", str(cache))
+        assert any(cache.iterdir())
+
+    def test_unknown_target_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "fig7"])
+
+    def test_campaign_json_flag(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "c.json"
+        self._run(tmp_path, "--json", str(out))
+        data = json.loads(out.read_text())
+        assert "cells" in data and "pipeline_report" in data

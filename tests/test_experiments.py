@@ -114,3 +114,50 @@ class TestMeasure:
     def test_paper_numbers_attached(self):
         m = measure(fig7(), iterations=10)
         assert m.paper["sp_ours"] == 40.0
+
+
+class TestMeasureFallback:
+    """`fell_back` must be reported, and rate/processors must describe
+    the code that actually ran — not the discarded parallel schedule."""
+
+    def _fallback_workload(self):
+        # Schedule with a low estimate (k=1) so the scheduler spreads
+        # ops across processors, then fluctuate run-time communication
+        # so hard that the parallel program is slower than sequential.
+        from repro.machine.comm import FluctuatingComm
+        from repro.machine.model import Machine
+        from repro.workloads import fig7
+        from repro.workloads.base import Workload
+
+        base = fig7()
+        return Workload(
+            name="fallback-stress",
+            graph=base.graph,
+            machine=Machine(
+                processors=4,
+                comm=FluctuatingComm(k=1, mm=40, mode="worst", seed=1),
+            ),
+        )
+
+    def test_fallback_branch_reports_sequential_execution(self):
+        m = measure(self._fallback_workload(), iterations=20)
+        assert m.fell_back
+        assert m.ours == m.sequential  # the fallback won
+        assert m.sp_ours == 0.0
+        # the *sequential* code ran: one processor, one body/iteration
+        assert m.total_processors == 1
+        assert m.ours_rate == pytest.approx(5.0)  # fig7 body latency
+
+    def test_parallel_branch_reports_parallel_schedule(self):
+        m = measure(fig7(), iterations=30)
+        assert not m.fell_back
+        assert m.ours < m.sequential
+        assert m.ours_rate == pytest.approx(3.0)
+        assert m.total_processors > 1
+
+    def test_fell_back_survives_export(self):
+        from repro.report import measurement_to_dict
+
+        d = measurement_to_dict(measure(self._fallback_workload(), 20))
+        assert d["fell_back"] is True
+        assert d["processors"] == 1

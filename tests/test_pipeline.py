@@ -291,6 +291,29 @@ class TestDiagnosticsAndReports:
         assert reports[0].cache_hits == len(reports[0].passes)
         assert default_cache().hits > 0
 
+    def test_default_cache_isolated_between_tests(self):
+        """The autouse conftest fixture wipes the singleton per test:
+        a cold run after ``clear()`` reports all misses, no hits and no
+        leftover entries from whatever test ran before."""
+        cache = default_cache()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        with collect_reports() as reports:
+            schedule_loop(_chain(), Machine(2))
+        assert reports[0].cache_hits == 0  # genuinely cold
+        assert cache.hits == 0
+        assert cache.misses > 0
+
+    def test_clear_makes_next_run_cold(self):
+        g = _chain()
+        m = Machine(2)
+        schedule_loop(g, m)
+        default_cache().clear()
+        with collect_reports() as reports:
+            schedule_loop(g, m)
+        assert reports[0].cache_hits == 0
+        assert default_cache().hits == 0
+
 
 class TestStagesCLI:
     def test_stages_prints_per_pass_timings(self, capsys):

@@ -113,6 +113,33 @@ class TestEngine:
         with pytest.raises(DeadlockError):
             simulate(g, [[Op("B", 0), Op("A", 0)]], ZeroComm())
 
+    def test_deadlock_diagnoses_missing_local_predecessor(self):
+        # B0 is stuck behind its own unexecuted predecessor A0
+        g = ab_graph()
+        with pytest.raises(DeadlockError) as exc:
+            simulate(g, [[Op("B", 0), Op("A", 0)]], ZeroComm())
+        msg = str(exc.value)
+        assert "P0 head B[0]" in msg
+        assert "local predecessor" in msg and "A[0]" in msg
+
+    def test_deadlock_diagnoses_missing_messages(self):
+        # P0: [B0, C0], P1: [D0, A0] — B0 awaits A0's message, D0
+        # awaits C0's; both counts must read 0/1 arrived.
+        g = DependenceGraph()
+        for n in "ABCD":
+            g.add_node(n)
+        g.add_edge("A", "B")
+        g.add_edge("C", "D")
+        with pytest.raises(DeadlockError) as exc:
+            simulate(
+                g,
+                [[Op("B", 0), Op("C", 0)], [Op("D", 0), Op("A", 0)]],
+                ZeroComm(),
+            )
+        msg = str(exc.value)
+        assert "P0 head B[0]" in msg and "P1 head D[0]" in msg
+        assert msg.count("0/1 expected message(s) arrived") == 2
+
     def test_total_comm_cycles(self):
         g = chain_graph(3)
         order = [[Op(f"a{i}", it) for it in range(3)] for i in range(3)]
