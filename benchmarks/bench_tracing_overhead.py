@@ -1,0 +1,134 @@
+"""Overhead regression guard for the tracing subsystem.
+
+The instrumentation threaded through the pipeline (per-pass spans,
+cache hit/miss counters) is permanently in the hot path; these
+benchmarks pin the contract that makes that acceptable:
+
+* the disabled path (the default ``NullTracer``) allocates nothing —
+  ``span()`` hands back one shared no-op object;
+* a null span entry/exit costs well under a microsecond, so the
+  instrumentation's share of a compilation stays under 3% even on the
+  smallest workloads;
+* turning tracing *on* costs a bounded constant factor, not an
+  explosion.
+
+All bounds are generous (CI machines are noisy); minima over several
+rounds are compared, which is far more stable than means.
+"""
+
+import time
+
+from repro.obs import NULL_TRACER, Span, Tracer, current_tracer, use_tracer
+from repro.pipeline import ArtifactCache, compile_graph
+from repro.workloads import suite
+
+from benchmarks.conftest import record
+
+ITERATIONS = 40
+SPAN_REPS = 10_000
+
+
+def _compile_suite() -> int:
+    """Cold-compile every suite workload; returns spans entered."""
+    entered = 0
+    for w in suite().values():
+        ctx = compile_graph(
+            w.graph, w.machine, iterations=ITERATIONS, cache=ArtifactCache()
+        )
+        entered += len(ctx.report.passes)
+    return entered
+
+
+def _null_span_seconds() -> float:
+    """Best-of-5 cost of SPAN_REPS null span enter/exit cycles."""
+    tracer = current_tracer()
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(SPAN_REPS):
+            with tracer.span("hot", "bench") as s:
+                s.set("ignored", 1)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_null_span_is_allocation_free(benchmark):
+    """The disabled path must never construct a Span object."""
+    assert current_tracer() is NULL_TRACER
+
+    def run():
+        before = Span.allocated
+        seconds = _null_span_seconds()
+        return seconds, Span.allocated - before
+
+    seconds, allocated = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert allocated == 0, "null tracer allocated spans"
+    per_span = seconds / SPAN_REPS
+    assert per_span < 2e-6, f"null span path too slow: {per_span * 1e9:.0f}ns"
+    record(benchmark, ns_per_null_span=round(per_span * 1e9, 1))
+
+
+def test_disabled_instrumentation_share_under_3_percent(benchmark):
+    """Instrumentation cost as a fraction of real compilation work.
+
+    The per-compilation overhead of disabled tracing is (spans entered
+    x null-span cost) plus a couple of ``enabled`` attribute checks —
+    bounded here against the measured compile time itself, so the
+    guard scales with machine speed instead of wall-clock guesses.
+    """
+    assert current_tracer() is NULL_TRACER
+
+    def run():
+        per_span = _null_span_seconds() / SPAN_REPS
+        best = float("inf")
+        spans = 0
+        before = Span.allocated
+        for _ in range(3):
+            t0 = time.perf_counter()
+            spans = _compile_suite()
+            best = min(best, time.perf_counter() - t0)
+        return per_span, spans, best, Span.allocated - before
+
+    per_span, spans, compile_s, allocated = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert allocated == 0, "compilation under the null tracer allocated spans"
+    assert spans > 0
+    share = (spans * per_span) / compile_s
+    assert share < 0.03, (
+        f"instrumentation share {share:.2%} of compile time exceeds 3% "
+        f"({spans} spans x {per_span * 1e9:.0f}ns / {compile_s * 1e3:.1f}ms)"
+    )
+    record(
+        benchmark,
+        spans_per_compile=spans,
+        instrumentation_share=round(share, 5),
+    )
+
+
+def test_enabled_tracer_cost_is_bounded(benchmark):
+    """Recording real spans must cost a small constant factor."""
+
+    def run():
+        null_best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            _compile_suite()
+            null_best = min(null_best, time.perf_counter() - t0)
+        enabled_best = float("inf")
+        for _ in range(3):
+            tracer = Tracer()
+            with use_tracer(tracer):
+                t0 = time.perf_counter()
+                _compile_suite()
+                enabled_best = min(
+                    enabled_best, time.perf_counter() - t0
+                )
+            assert tracer.finished(), "enabled tracer recorded nothing"
+        return enabled_best / null_best
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    # generous: span recording is a few dict/list ops per pass, so even
+    # 2x would indicate a regression; allow 3x for CI noise.
+    assert ratio < 3.0, f"enabled tracing {ratio:.2f}x slower than disabled"
+    record(benchmark, enabled_over_null=round(ratio, 3))

@@ -14,9 +14,18 @@ Usage::
     repro-mimd codegen       # Fig. 10-style partitioned code for fig7
     repro-mimd stages fig7   # per-pass pipeline timings, cold vs warm
     repro-mimd campaign table1 --workers 4   # sharded parallel campaign
+    repro-mimd profile table1            # run under the tracer, print profile
     repro-mimd all           # everything above
 
 ``python -m repro.cli <experiment>`` works identically.
+
+``profile <subcommand>`` runs any experiment (or ``campaign``) under
+the hierarchical tracer (:mod:`repro.obs`) and prints the flat text
+profile — spans aggregated by category:name with count/total/self time
+and p50/p95/p99 — plus the metrics counters.  ``--trace-out FILE``
+(available on every subcommand) additionally writes the spans as
+Chrome ``trace_event`` JSON; open the file in ``chrome://tracing`` or
+https://ui.perfetto.dev.
 
 ``campaign`` runs the Table 1 / comm-sweep campaigns through the
 fault-tolerant parallel runner (:mod:`repro.runner`): ``--workers N``
@@ -428,17 +437,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all", "schedule", "campaign"],
+        choices=[*_COMMANDS, "all", "schedule", "campaign", "profile"],
         help="which artifact to regenerate, 'schedule' for a file, "
-        "'stages' for per-pass pipeline timings, or 'campaign' for the "
-        "sharded parallel runner",
+        "'stages' for per-pass pipeline timings, 'campaign' for the "
+        "sharded parallel runner, or 'profile' to trace a subcommand",
     )
     parser.add_argument(
         "file",
         nargs="?",
         help="mini-language loop file (for 'schedule'), workload "
-        "name / loop file (for 'stages', default fig7), or campaign "
-        "target 'table1'/'sweep' (for 'campaign', default table1)",
+        "name / loop file (for 'stages', default fig7), campaign "
+        "target 'table1'/'sweep' (for 'campaign', default table1), or "
+        "the subcommand to trace (for 'profile', default fig7)",
     )
     parser.add_argument(
         "--iterations",
@@ -468,6 +478,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write the experiment's result (with pipeline "
         "telemetry) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="enable hierarchical tracing and write the spans as "
+        "Chrome trace_event JSON to PATH (open in chrome://tracing "
+        "or ui.perfetto.dev)",
     )
     campaign_opts = parser.add_argument_group("campaign options")
     campaign_opts.add_argument(
@@ -514,21 +531,62 @@ def main(argv: list[str] | None = None) -> int:
         "(default BENCH_campaign.json)",
     )
     args = parser.parse_args(argv)
-    with collect_reports() as reports:
-        if args.experiment == "schedule":
-            if not args.file:
-                parser.error("'schedule' needs a loop file")
-            payload = _cmd_schedule(args)
-        elif args.experiment == "campaign":
-            payload = _cmd_campaign(args)
-        elif args.experiment == "all":
-            payload = {"experiments": {}}
-            for name, fn in _COMMANDS.items():
-                print(f"\n=== {name} " + "=" * (60 - len(name)))
-                payload["experiments"][name] = fn(args)
-        else:
-            payload = _COMMANDS[args.experiment](args)
-        _export(args, payload, reports)
+    from repro.obs import (
+        NULL_TRACER,
+        MetricsRegistry,
+        Tracer,
+        registry,
+        set_registry,
+        text_profile,
+        use_tracer,
+        write_chrome_trace,
+    )
+
+    profiling = args.experiment == "profile"
+    if profiling:
+        target = args.file or "fig7"
+        if target not in _COMMANDS and target != "campaign":
+            parser.error(
+                f"profile: unknown subcommand {target!r} (choose from "
+                f"{', '.join([*_COMMANDS, 'campaign'])})"
+            )
+        args.experiment = target
+        args.file = None  # the traced subcommand picks its own default
+    tracing = profiling or bool(args.trace_out)
+    tracer = Tracer() if tracing else NULL_TRACER
+    prev_registry = set_registry(MetricsRegistry()) if tracing else None
+    try:
+        with use_tracer(tracer), collect_reports() as reports:
+            with tracer.span(f"repro-mimd {args.experiment}", "cli"):
+                if args.experiment == "schedule":
+                    if not args.file:
+                        parser.error("'schedule' needs a loop file")
+                    payload = _cmd_schedule(args)
+                elif args.experiment == "campaign":
+                    payload = _cmd_campaign(args)
+                elif args.experiment == "all":
+                    payload = {"experiments": {}}
+                    for name, fn in _COMMANDS.items():
+                        print(f"\n=== {name} " + "=" * (60 - len(name)))
+                        with tracer.span(name, "experiment"):
+                            payload["experiments"][name] = fn(args)
+                else:
+                    payload = _COMMANDS[args.experiment](args)
+            _export(args, payload, reports)
+            if profiling:
+                print("\nprofile (spans by category:name, times in ms):")
+                print(text_profile(tracer.finished()))
+                snap = registry().snapshot()
+                if snap["counters"]:
+                    print("\ncounters:")
+                    for metric, value in snap["counters"].items():
+                        print(f"  {metric:<40} {value}")
+            if args.trace_out:
+                write_chrome_trace(args.trace_out, tracer.finished())
+                print(f"(wrote {args.trace_out})")
+    finally:
+        if prev_registry is not None:
+            set_registry(prev_registry)
     return 0
 
 

@@ -58,7 +58,16 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """No processor can make progress but the program is unfinished."""
+    """No processor can make progress but the program is unfinished.
+
+    Both simulator implementations attach the *partial* run to the
+    exception as ``trace`` (an :class:`repro.sim.engine.ExecutionTrace`
+    of everything that executed before the hang), so diagnosis tooling
+    can still render segments or export a Chrome trace of a deadlocked
+    run.  ``None`` when no partial trace was available.
+    """
+
+    trace = None
 
 
 class CodegenError(ReproError):

@@ -1,0 +1,80 @@
+"""Observability: hierarchical tracing, metrics, and trace exporters.
+
+Zero-dependency subsystem threaded through all three execution layers:
+
+* the compilation pipeline — every pass is a span with cache-hit
+  annotations (:mod:`repro.pipeline.manager`);
+* the campaign runner — each cell attempt records a span bundle in its
+  worker process, and the parent re-parents the bundles into one
+  campaign trace (:mod:`repro.runner.core`);
+* the simulator — per-processor busy/wait/recv segments derived from
+  the same data as the Gantt charts (:mod:`repro.sim.engine`).
+
+Disabled by default: the process-local current tracer is the
+:class:`~repro.obs.tracer.NullTracer`, whose span() path allocates
+nothing.  Enable with ``repro-mimd profile <cmd>`` / ``--trace-out``,
+or programmatically::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        compile_graph(graph, machine)
+    write_chrome_trace("trace.json", tracer.spans)  # open in Perfetto
+"""
+
+from repro.obs.export import (
+    atomic_write_text,
+    sim_segment_events,
+    text_profile,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+    registry,
+    set_registry,
+    summarize,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    replant,
+    set_tracer,
+    traced,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "atomic_write_text",
+    "current_tracer",
+    "percentile",
+    "registry",
+    "replant",
+    "set_registry",
+    "set_tracer",
+    "sim_segment_events",
+    "summarize",
+    "text_profile",
+    "to_chrome_trace",
+    "traced",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,207 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a flat text profile.
+
+``to_chrome_trace`` turns finished spans (plus, optionally, simulator
+segments) into the Trace Event Format understood by ``chrome://tracing``
+and Perfetto (https://ui.perfetto.dev — *Open trace file*): complete
+("ph": "X") events with microsecond timestamps, grouped by the pid/tid
+the span recorded.  ``validate_chrome_trace`` checks the invariants the
+viewers rely on and is reused by the CI trace-smoke step.
+
+``text_profile`` is the terminal-friendly view: spans aggregated by
+(category, name) with count, total/self time and p50/p95/p99 — what
+``repro-mimd profile`` prints.
+
+All file writes go through :func:`atomic_write_text` (temp file +
+``os.replace`` in the destination directory), so a killed process can
+never leave a truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import summarize
+from repro.obs.tracer import Span
+
+__all__ = [
+    "atomic_write_text",
+    "sim_segment_events",
+    "text_profile",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the destination directory so ``os.replace``
+    stays a same-filesystem atomic rename; readers see either the old
+    content or the complete new content, never a prefix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def _span_event(span: Span) -> dict[str, Any]:
+    return {
+        "name": span.name,
+        "cat": span.cat or "span",
+        "ph": "X",
+        "ts": round(span.ts * 1e6, 3),
+        "dur": round(span.duration * 1e6, 3),
+        "pid": span.pid,
+        "tid": span.tid,
+        "args": dict(span.args),
+    }
+
+
+def sim_segment_events(
+    segments: Iterable[Any], *, pid: int | str = "sim", us_per_cycle: float = 1.0
+) -> list[dict[str, Any]]:
+    """Simulator busy/wait/recv segments as trace events.
+
+    Each :class:`~repro.sim.engine.Segment` becomes one complete event
+    on track ``tid = processor``; simulated cycles map to microseconds
+    (scaled by ``us_per_cycle``) so Perfetto renders the Gantt shape
+    directly.
+    """
+    return [
+        {
+            "name": seg.label or seg.kind,
+            "cat": f"sim.{seg.kind}",
+            "ph": "X",
+            "ts": round(seg.start * us_per_cycle, 3),
+            "dur": round((seg.end - seg.start) * us_per_cycle, 3),
+            "pid": pid,
+            "tid": seg.proc,
+            "args": {"kind": seg.kind},
+        }
+        for seg in segments
+    ]
+
+
+def to_chrome_trace(
+    spans: Sequence[Span],
+    *,
+    extra_events: Sequence[Mapping[str, Any]] = (),
+) -> dict[str, Any]:
+    """The full trace object: span events plus any extra events."""
+    events = [_span_event(s) for s in spans if s.end is not None]
+    events.extend(dict(e) for e in extra_events)
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Sequence[Span],
+    *,
+    extra_events: Sequence[Mapping[str, Any]] = (),
+) -> dict[str, Any]:
+    """Serialize and atomically write the trace; returns the object."""
+    obj = to_chrome_trace(spans, extra_events=extra_events)
+    atomic_write_text(path, json.dumps(obj, sort_keys=True) + "\n")
+    return obj
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Check ``obj`` against the trace-event invariants the viewers
+    need; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(obj, Mapping):
+        return ["trace must be a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(e.get("name", ""), str):
+            problems.append(f"{where}: name must be a string")
+        if not isinstance(e.get("ts", 0), (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        if e.get("ph") == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+        if "args" in e and not isinstance(e["args"], Mapping):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# flat text profile
+# ----------------------------------------------------------------------
+def text_profile(spans: Sequence[Span], *, limit: int = 30) -> str:
+    """Spans aggregated by (cat, name): count, total, self, percentiles.
+
+    *Self* time is a span's duration minus its direct children's —
+    where the time was actually spent, not just accumulated.
+    """
+    finished = [s for s in spans if s.end is not None]
+    if not finished:
+        return "(no spans recorded)"
+    child_total: dict[int, float] = {}
+    for s in finished:
+        if s.parent is not None:
+            key = id(s.parent)
+            child_total[key] = child_total.get(key, 0.0) + s.duration
+    rows: dict[tuple[str, str], dict[str, Any]] = {}
+    for s in finished:
+        slot = rows.setdefault(
+            (s.cat, s.name), {"count": 0, "self": 0.0, "samples": []}
+        )
+        slot["count"] += 1
+        slot["self"] += max(0.0, s.duration - child_total.get(id(s), 0.0))
+        slot["samples"].append(s.duration)
+    ordered = sorted(
+        rows.items(), key=lambda kv: -sum(kv[1]["samples"])
+    )[:limit]
+    name_w = max(
+        (len(f"{cat}:{name}") for (cat, name), _ in ordered), default=4
+    )
+    header = (
+        f"  {'span':<{name_w}} {'count':>6} {'total':>10} {'self':>10} "
+        f"{'p50':>9} {'p95':>9} {'p99':>9}"
+    )
+    lines = [header]
+    for (cat, name), slot in ordered:
+        stats = summarize(slot["samples"])
+        lines.append(
+            f"  {cat + ':' + name:<{name_w}} {slot['count']:>6} "
+            f"{sum(slot['samples']) * 1e3:>8.3f}ms "
+            f"{slot['self'] * 1e3:>8.3f}ms "
+            f"{stats['p50'] * 1e3:>7.3f}ms "
+            f"{stats['p95'] * 1e3:>7.3f}ms "
+            f"{stats['p99'] * 1e3:>7.3f}ms"
+        )
+    if len(rows) > limit:
+        lines.append(f"  ... and {len(rows) - limit} more span groups")
+    return "\n".join(lines)

@@ -28,6 +28,8 @@ from typing import Any, Mapping
 from repro.graph.ddg import DependenceGraph
 from repro.machine.comm import CommModel, FluctuatingComm, UniformComm, ZeroComm
 from repro.machine.model import Machine
+from repro.obs.metrics import registry as _metrics
+from repro.obs.tracer import current_tracer as _tracer
 
 from repro.pipeline.report import Diagnostic
 
@@ -154,10 +156,15 @@ class ArtifactCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        # metrics are gated on tracing being enabled: the disabled path
+        # costs one attribute check on the null-tracer singleton.
+        if _tracer().enabled:
+            name = "artifact_cache.hits" if entry else "artifact_cache.misses"
+            _metrics().counter(name).inc()
+        return entry
 
     def put(self, key: str, entry: CacheEntry) -> None:
         with self._lock:

@@ -26,6 +26,8 @@ from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from repro.errors import PipelineError
+from repro.obs.metrics import registry
+from repro.obs.tracer import current_tracer
 
 from repro.pipeline.cache import ArtifactCache, CacheEntry, fingerprint, stable_hash
 from repro.pipeline.context import PRODUCERS, CompilationContext
@@ -128,49 +130,64 @@ class PassManager:
         )
         trusted = set(seeded)
 
+        # The null tracer's span() returns a shared no-op object, so the
+        # instrumentation below is allocation-free when tracing is off
+        # (bench_tracing_overhead.py pins this).
+        tracer = current_tracer()
         records: list[PassRecord] = []
         for p in self.passes:
             chain = stable_hash(chain, p.name, p.cache_fingerprint(ctx))
             chain_ok = all(k in trusted for k in p.requires)
-            entry = (
-                self.cache.get(chain)
-                if (self.cache is not None and chain_ok)
-                else None
-            )
-            if entry is not None:
-                t0 = time.perf_counter()
-                ctx.artifacts.update(entry.artifacts)
-                ctx.diagnostics.extend(entry.diagnostics)
-                records.append(
-                    PassRecord(
-                        p.name,
-                        time.perf_counter() - t0,
-                        True,
-                        dict(entry.counters),
+            with tracer.span(p.name, "pass") as span:
+                entry = (
+                    self.cache.get(chain)
+                    if (self.cache is not None and chain_ok)
+                    else None
+                )
+                if entry is not None:
+                    t0 = time.perf_counter()
+                    ctx.artifacts.update(entry.artifacts)
+                    ctx.diagnostics.extend(entry.diagnostics)
+                    seconds = time.perf_counter() - t0
+                    records.append(
+                        PassRecord(
+                            p.name, seconds, True, dict(entry.counters)
+                        )
                     )
+                    trusted.update(entry.artifacts)
+                    span.set("cache_hit", True)
+                    if tracer.enabled:
+                        reg = registry()
+                        reg.counter("pipeline.cache_hits").inc()
+                        reg.histogram(f"pass.{p.name}.seconds").observe(
+                            seconds
+                        )
+                    continue
+                out = PassOutput(p.name)
+                t0 = time.perf_counter()
+                p.run(ctx, out)
+                seconds = time.perf_counter() - t0
+                ctx.artifacts.update(out.artifacts)
+                ctx.diagnostics.extend(out.diagnostics)
+                if self.cache is not None and chain_ok:
+                    self.cache.put(
+                        chain,
+                        CacheEntry(
+                            dict(out.artifacts),
+                            dict(out.counters),
+                            tuple(out.diagnostics),
+                        ),
+                    )
+                if chain_ok:
+                    trusted.update(out.artifacts)
+                records.append(
+                    PassRecord(p.name, seconds, False, dict(out.counters))
                 )
-                trusted.update(entry.artifacts)
-                continue
-            out = PassOutput(p.name)
-            t0 = time.perf_counter()
-            p.run(ctx, out)
-            seconds = time.perf_counter() - t0
-            ctx.artifacts.update(out.artifacts)
-            ctx.diagnostics.extend(out.diagnostics)
-            if self.cache is not None and chain_ok:
-                self.cache.put(
-                    chain,
-                    CacheEntry(
-                        dict(out.artifacts),
-                        dict(out.counters),
-                        tuple(out.diagnostics),
-                    ),
-                )
-            if chain_ok:
-                trusted.update(out.artifacts)
-            records.append(
-                PassRecord(p.name, seconds, False, dict(out.counters))
-            )
+                span.set("cache_hit", False)
+                if tracer.enabled:
+                    reg = registry()
+                    reg.counter("pipeline.passes_executed").inc()
+                    reg.histogram(f"pass.{p.name}.seconds").observe(seconds)
 
         report = PipelineReport(
             passes=tuple(records), diagnostics=tuple(ctx.diagnostics)

@@ -13,6 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.obs.metrics import summarize
+
+#: per-pass latency samples retained in an aggregated summary — enough
+#: for stable p50/p95/p99 while keeping ``--json`` exports bounded.
+_MAX_SAMPLES = 256
+
+
+def _pass_histogram(samples: Sequence[float]) -> dict[str, float]:
+    """Rounded latency summary of one pass's per-run seconds."""
+    return {
+        k: (v if k == "count" else round(v, 6))
+        for k, v in summarize(samples).items()
+    }
+
 __all__ = [
     "Diagnostic",
     "PassRecord",
@@ -136,17 +150,21 @@ def aggregate_reports(
     for rep in reports:
         for r in rep.passes:
             slot = per_pass.setdefault(
-                r.name, {"runs": 0, "cache_hits": 0, "seconds": 0.0}
+                r.name,
+                {"runs": 0, "cache_hits": 0, "seconds": 0.0, "samples": []},
             )
             slot["runs"] += 1
             slot["cache_hits"] += int(r.cache_hit)
             slot["seconds"] += r.seconds
+            if len(slot["samples"]) < _MAX_SAMPLES:
+                slot["samples"].append(round(r.seconds, 6))
         for d in rep.diagnostics:
             if d.severity == "warning" and str(d) not in seen:
                 seen.add(str(d))
                 warnings.append(str(d))
     for slot in per_pass.values():
         slot["seconds"] = round(slot["seconds"], 6)
+        slot["histogram"] = _pass_histogram(slot["samples"])
     return {
         "pipelines": len(reports),
         "total_seconds": round(sum(r.total_seconds for r in reports), 6),
@@ -179,11 +197,15 @@ def merge_aggregated(summaries: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         merged["cache_hits"] += s.get("cache_hits", 0)
         for name, slot in s.get("passes", {}).items():
             tgt = merged["passes"].setdefault(
-                name, {"runs": 0, "cache_hits": 0, "seconds": 0.0}
+                name,
+                {"runs": 0, "cache_hits": 0, "seconds": 0.0, "samples": []},
             )
             tgt["runs"] += slot.get("runs", 0)
             tgt["cache_hits"] += slot.get("cache_hits", 0)
             tgt["seconds"] += slot.get("seconds", 0.0)
+            room = _MAX_SAMPLES - len(tgt["samples"])
+            if room > 0:
+                tgt["samples"].extend(slot.get("samples", ())[:room])
         for w in s.get("warnings", ()):
             if w not in seen:
                 seen.add(w)
@@ -191,4 +213,5 @@ def merge_aggregated(summaries: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
     merged["total_seconds"] = round(merged["total_seconds"], 6)
     for slot in merged["passes"].values():
         slot["seconds"] = round(slot["seconds"], 6)
+        slot["histogram"] = _pass_histogram(slot["samples"])
     return merged

@@ -9,7 +9,7 @@ from repro.report.export import (
     table1_to_dict,
     to_json,
 )
-from repro.report.gantt import gantt, pattern_chart
+from repro.report.gantt import gantt, pattern_chart, segment_chart, trace_chart
 from repro.report.tables import (
     format_measurement,
     format_measurements,
@@ -26,7 +26,9 @@ __all__ = [
     "measurement_to_dict",
     "pattern_chart",
     "perfect_gap_to_dicts",
+    "segment_chart",
     "sweep_to_dicts",
+    "trace_chart",
     "table1_to_dict",
     "to_json",
 ]

@@ -124,9 +124,15 @@ def perfect_gap_to_dicts(rows: list[PerfectGapRow]) -> list[dict[str, Any]]:
 
 
 def to_json(payload: Any, path: str | None = None) -> str:
-    """Serialize (and optionally write) an exported payload."""
+    """Serialize (and optionally write) an exported payload.
+
+    Writes are atomic (temp file + ``os.replace``): a campaign or
+    export interrupted mid-write leaves either the previous file or
+    the complete new one on disk, never truncated JSON.
+    """
     text = json.dumps(payload, indent=2, sort_keys=True)
     if path is not None:
-        with open(path, "w") as fh:
-            fh.write(text + "\n")
+        from repro.obs.export import atomic_write_text
+
+        atomic_write_text(path, text + "\n")
     return text

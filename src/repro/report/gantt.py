@@ -1,12 +1,19 @@
 """ASCII Gantt charts of schedules — the library's analogue of the
-paper's schedule figures (Fig. 3(c), 7(d), 9(c), 11(d), 12(b))."""
+paper's schedule figures (Fig. 3(c), 7(d), 9(c), 11(d), 12(b)).
+
+:func:`trace_chart` renders a *run* (an
+:class:`~repro.sim.engine.ExecutionTrace`) from its busy/wait/recv
+segments — the very same decomposition the Chrome-trace exporter uses
+(:func:`repro.obs.sim_segment_events`), so the terminal Gantt and the
+Perfetto timeline of one run can never disagree."""
 
 from __future__ import annotations
 
 from repro.core.patterns import Pattern
 from repro.core.schedule import Schedule
+from repro.sim.engine import ExecutionTrace, Segment
 
-__all__ = ["gantt", "pattern_chart"]
+__all__ = ["gantt", "pattern_chart", "segment_chart", "trace_chart"]
 
 
 def gantt(
@@ -42,6 +49,53 @@ def gantt(
             row += " " + cell[: cell_width].ljust(cell_width) + " "
         lines.append(row.rstrip())
     return "\n".join(lines)
+
+
+def segment_chart(
+    segments: list[Segment],
+    *,
+    first_cycle: int = 0,
+    cycles: int | None = None,
+    cell_width: int = 6,
+) -> str:
+    """Render busy/wait/recv segments cycle-by-cycle.
+
+    Busy cells show the op label (``|``-continued); ``~`` marks cycles
+    stalled on an in-flight message ('recv'); ``.`` marks other idle
+    cycles ('wait').  Layout matches :func:`gantt`, so a schedule's
+    chart and its run's chart line up column for column.
+    """
+    if not segments:
+        return "(no segments)"
+    span = max(s.end for s in segments)
+    if cycles is None:
+        cycles = span - first_cycle
+    used = sorted({s.proc for s in segments})
+    grid: dict[tuple[int, int], str] = {}
+    for s in segments:
+        for q in range(s.start, s.end):
+            if s.kind == "busy":
+                grid[(s.proc, q)] = (
+                    s.label if q == s.start else "|" + s.label
+                )
+            elif s.kind == "recv":
+                grid[(s.proc, q)] = "~"
+    header = "cycle".rjust(6) + "".join(
+        f"PE{j}".center(cell_width + 2) for j in used
+    )
+    lines = [header]
+    for c in range(first_cycle, min(first_cycle + cycles, span)):
+        row = str(c).rjust(6)
+        for j in used:
+            cell = grid.get((j, c), ".")
+            row += " " + cell[: cell_width].ljust(cell_width) + " "
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def trace_chart(trace: ExecutionTrace, **kwargs) -> str:
+    """Gantt of a simulated run, derived from its trace segments."""
+    return segment_chart(trace.segments(), **kwargs)
 
 
 def pattern_chart(pattern: Pattern, *, cell_width: int = 6) -> str:

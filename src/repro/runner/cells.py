@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.errors import ReproError
+from repro.obs.metrics import registry
+from repro.obs.tracer import current_tracer
 
 __all__ = [
     "Cell",
@@ -82,7 +84,12 @@ def execute_cell(cell: Cell) -> Any:
             f"unknown cell kind {cell.kind!r} "
             f"(known: {', '.join(sorted(_CELL_KINDS))})"
         ) from None
-    return fn(cell.mapping)
+    tracer = current_tracer()
+    with tracer.span(cell.kind, "cell-kind"):
+        value = fn(cell.mapping)
+    if tracer.enabled:
+        registry().counter(f"cells.{cell.kind}.executed").inc()
+    return value
 
 
 # ----------------------------------------------------------------------

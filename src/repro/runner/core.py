@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import CampaignError, ReproError
+from repro.obs.metrics import summarize
+from repro.obs.tracer import Tracer, current_tracer, replant, use_tracer
 from repro.pipeline.cache import default_cache, set_default_cache
 from repro.pipeline.report import aggregate_reports, merge_aggregated
 from repro.runner.cells import Cell, execute_cell
@@ -121,6 +123,32 @@ class CampaignResult:
         """All cells' pipeline telemetry merged into one aggregate."""
         return merge_aggregated(r.pipeline for r in self.results if r.pipeline)
 
+    def histograms(self) -> dict[str, Any]:
+        """Latency distributions over the executed cells.
+
+        ``cell_seconds`` summarizes every successful cell's wall time
+        (count/mean/min/max/p50/p95/p99); ``by_kind`` breaks the same
+        summary down per cell kind.
+        """
+
+        def _rounded(samples: list[float]) -> dict[str, float]:
+            return {
+                k: (v if k == "count" else round(v, 6))
+                for k, v in summarize(samples).items()
+            }
+
+        ok = [r for r in self.results if r.ok]
+        by_kind: dict[str, list[float]] = {}
+        for r in ok:
+            by_kind.setdefault(r.cell.kind, []).append(r.seconds)
+        return {
+            "cell_seconds": _rounded([r.seconds for r in ok]),
+            "by_kind": {
+                kind: _rounded(samples)
+                for kind, samples in sorted(by_kind.items())
+            },
+        }
+
     def raise_on_failure(self) -> "CampaignResult":
         if self.failed_cells:
             failed = ", ".join(r.cell.cell_id for r in self.failed_cells)
@@ -156,6 +184,7 @@ class CampaignResult:
                 "campaign_cells": len(self.cells),
                 "per_cell": [r.to_dict() for r in self.results],
                 "pipeline_report": self.pipeline_summary(),
+                "histograms": self.histograms(),
             },
         }
 
@@ -188,25 +217,36 @@ def _worker_init(cache_dir: str | None) -> None:  # pragma: no cover - subproces
     _install_tiered_cache(cache_dir)
 
 
-def _cell_task(cell: Cell) -> dict[str, Any]:
+def _cell_task(cell: Cell, trace: bool = False) -> dict[str, Any]:
     """Run one cell; always returns a picklable outcome dict.
 
     Cell-level exceptions are converted to data here so they ride the
     normal result channel — only worker death or a timeout surfaces as
     a future-level failure in the parent.
+
+    With ``trace=True`` the cell runs under a fresh local
+    :class:`~repro.obs.tracer.Tracer` whose span bundle (one root span
+    for the attempt, pass spans nested below) ships home in the payload
+    for the parent to re-parent into the campaign trace.
     """
     from repro.pipeline.manager import collect_reports
 
+    tracer = Tracer() if trace else None
     t0 = time.perf_counter()
     try:
         with collect_reports() as reports:
-            value = execute_cell(cell)
+            if tracer is not None:
+                with use_tracer(tracer), tracer.span(cell.cell_id, "cell"):
+                    value = execute_cell(cell)
+            else:
+                value = execute_cell(cell)
         return {
             "ok": True,
             "value": value,
             "seconds": time.perf_counter() - t0,
             "pid": os.getpid(),
             "pipeline": aggregate_reports(reports),
+            "spans": tracer.to_payload() if tracer is not None else None,
         }
     except Exception as exc:
         return {
@@ -215,6 +255,7 @@ def _cell_task(cell: Cell) -> dict[str, Any]:
             "seconds": time.perf_counter() - t0,
             "pid": os.getpid(),
             "pipeline": {},
+            "spans": tracer.to_payload() if tracer is not None else None,
         }
 
 
@@ -259,6 +300,7 @@ def _parallel_wave(
     workers: int,
     cache_dir: str | None,
     cell_timeout: float | None,
+    trace: bool = False,
 ) -> tuple[dict[int, dict[str, Any]], dict[int, str]]:
     """One submission wave. Returns (payloads by index, unfinished)."""
     payloads: dict[int, dict[str, Any]] = {}
@@ -270,7 +312,7 @@ def _parallel_wave(
     )
     broken = False
     try:
-        futures = {i: ex.submit(_cell_task, cells[i]) for i in indices}
+        futures = {i: ex.submit(_cell_task, cells[i], trace) for i in indices}
         for i, fut in futures.items():
             if broken:
                 # Pool already abandoned: salvage whatever finished.
@@ -310,6 +352,7 @@ def run_campaign(
     cell_timeout: float | None = None,
     retries: int = 1,
     shard: tuple[int, int] | str | None = None,
+    tracer: Tracer | None = None,
 ) -> CampaignResult:
     """Execute a campaign; returns a (possibly partial) merged result.
 
@@ -332,6 +375,14 @@ def run_campaign(
         ``(i, n)`` or ``"i/n"``: execute only cells whose campaign
         index is congruent to ``i`` mod ``n`` — for spreading one
         campaign across machines/CI jobs.
+    tracer:
+        Tracing destination; defaults to the process-local current
+        tracer (the no-op :class:`~repro.obs.tracer.NullTracer` unless
+        tracing was enabled).  With an enabled tracer, every cell
+        attempt records a span bundle in its executing process; the
+        parent re-parents the bundles under one campaign span with
+        attempt/pid/timeout metadata, so ``repro-mimd campaign
+        --trace-out`` yields a single coherent Perfetto timeline.
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
@@ -347,49 +398,81 @@ def run_campaign(
         if shard is None or i % shard[1] == shard[0]
     ]
 
+    if tracer is None:
+        tracer = current_tracer()  # NullTracer unless tracing enabled
+    trace = tracer.enabled
+
     t0 = time.perf_counter()
     results: dict[int, CellResult] = {}
     last_error: dict[int, str] = {}
     pending = list(selected)
     attempt = 0
-    while pending and attempt <= retries:
-        attempt += 1
-        if workers == 1:
-            payloads: dict[int, dict[str, Any]] = {}
-            unfinished: dict[int, str] = {}
-            prev = default_cache()
-            _install_tiered_cache(cache_dir)
-            try:
-                for i in pending:
-                    payloads[i] = _cell_task(cells[i])
-            finally:
-                if cache_dir:
-                    set_default_cache(prev)
-        else:
-            payloads, unfinished = _parallel_wave(
-                cells, pending, workers, cache_dir, cell_timeout
-            )
-        still: list[int] = []
-        for i in pending:
-            if i in payloads:
-                res = _result_from_payload(cells[i], i, payloads[i], attempt)
-                if res.ok:
-                    results[i] = res
-                else:
-                    results[i] = res  # kept in case this was the last try
-                    last_error[i] = res.error or "cell failed"
-                    still.append(i)
+    with tracer.span("campaign", "campaign") as campaign_span:
+        campaign_span.set("workers", workers)
+        campaign_span.set("cells", len(selected))
+        campaign_span.set("cache_dir", cache_dir)
+        while pending and attempt <= retries:
+            attempt += 1
+            if workers == 1:
+                payloads: dict[int, dict[str, Any]] = {}
+                unfinished: dict[int, str] = {}
+                prev = default_cache()
+                _install_tiered_cache(cache_dir)
+                try:
+                    for i in pending:
+                        payloads[i] = _cell_task(cells[i], trace)
+                finally:
+                    if cache_dir:
+                        set_default_cache(prev)
             else:
-                last_error[i] = unfinished.get(i, "cell never ran")
-                results[i] = CellResult(
-                    cell=cells[i],
-                    index=i,
-                    ok=False,
-                    error=last_error[i],
-                    attempts=attempt,
+                payloads, unfinished = _parallel_wave(
+                    cells, pending, workers, cache_dir, cell_timeout, trace
                 )
-                still.append(i)
-        pending = still
+            still: list[int] = []
+            for i in pending:
+                if i in payloads:
+                    res = _result_from_payload(
+                        cells[i], i, payloads[i], attempt
+                    )
+                    if trace:
+                        replant(
+                            tracer,
+                            campaign_span,
+                            payloads[i].get("spans"),
+                            root_args={
+                                "attempt": attempt,
+                                "pid": res.worker_pid,
+                                "timeout": cell_timeout,
+                                "ok": res.ok,
+                            },
+                        )
+                    if res.ok:
+                        results[i] = res
+                    else:
+                        results[i] = res  # kept in case this was the last try
+                        last_error[i] = res.error or "cell failed"
+                        still.append(i)
+                else:
+                    last_error[i] = unfinished.get(i, "cell never ran")
+                    results[i] = CellResult(
+                        cell=cells[i],
+                        index=i,
+                        ok=False,
+                        error=last_error[i],
+                        attempts=attempt,
+                    )
+                    if trace:
+                        # The worker never reported (crash/timeout): the
+                        # attempt still gets its span, marked and
+                        # zero-length, so trace and results agree on the
+                        # attempt count.
+                        with tracer.span(cells[i].cell_id, "cell") as sp:
+                            sp.set("attempt", attempt)
+                            sp.set("timeout", cell_timeout)
+                            sp.set("ok", False)
+                            sp.set("error", last_error[i])
+                    still.append(i)
+            pending = still
 
     return CampaignResult(
         cells=cells,

@@ -9,16 +9,25 @@ Two interchangeable implementations of the machine semantics:
 Property tests assert they agree cycle-for-cycle.
 """
 
-from repro.sim.engine import ExecutionTrace, Message, simulate
-from repro.sim.fastpath import evaluate
+from repro.sim.engine import (
+    ExecutionTrace,
+    Message,
+    Segment,
+    execution_segments,
+    simulate,
+)
+from repro.sim.fastpath import evaluate, evaluate_trace
 from repro.sim.trace import TraceStats, critical_chain, trace_stats
 
 __all__ = [
     "ExecutionTrace",
     "Message",
+    "Segment",
     "TraceStats",
     "critical_chain",
     "evaluate",
+    "evaluate_trace",
+    "execution_segments",
     "simulate",
     "trace_stats",
 ]

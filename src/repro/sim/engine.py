@@ -35,7 +35,13 @@ from repro.errors import DeadlockError, SimulationError
 from repro.graph.ddg import DependenceGraph, Edge
 from repro.machine.comm import CommModel
 
-__all__ = ["Message", "ExecutionTrace", "simulate"]
+__all__ = [
+    "ExecutionTrace",
+    "Message",
+    "Segment",
+    "execution_segments",
+    "simulate",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,27 @@ class Message:
         return self.arrived - self.sent
 
 
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous per-processor activity interval.
+
+    ``kind`` is ``'busy'`` (executing ``label``), ``'recv'`` (stalled
+    until the last blocking message arrived) or ``'wait'`` (stalled on
+    a local predecessor / program order, or drained at the end of the
+    run).  Cycle units, ``[start, end)``.
+    """
+
+    proc: int
+    kind: str
+    start: int
+    end: int
+    label: str = ""
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
 @dataclass
 class ExecutionTrace:
     """Everything that happened in one simulated run."""
@@ -70,6 +97,51 @@ class ExecutionTrace:
 
     def total_comm_cycles(self) -> int:
         return sum(m.cost for m in self.messages)
+
+    def segments(self) -> list[Segment]:
+        """Per-processor busy/wait/recv segments of this run."""
+        return execution_segments(self)
+
+
+def execution_segments(trace: ExecutionTrace) -> list[Segment]:
+    """Decompose a run into per-processor busy/wait/recv segments.
+
+    Derived purely from the trace's schedule and messages, so the same
+    decomposition applies to the event-driven engine and the closed-form
+    evaluator (:func:`repro.sim.fastpath.evaluate_trace`) — the
+    differential tests compare the two segment-by-segment.  Segments
+    tile each used processor's timeline exactly from cycle 0 to the
+    makespan.
+    """
+    sched = trace.schedule
+    arrivals: dict[Op, list[int]] = {}
+    for m in trace.messages:
+        arrivals.setdefault(m.dst, []).append(m.arrived)
+    makespan = sched.makespan()
+    segments: list[Segment] = []
+    for j in sched.used_processors():
+        cursor = 0
+        for p in sched.ops_on(j):
+            if p.start > cursor:
+                # The tail of the stall up to the last in-gap message
+                # arrival is attributable to communication; whatever
+                # remains (message already there, local predecessor or
+                # program order pending) is a plain wait.
+                blocking = [
+                    a for a in arrivals.get(p.op, ()) if cursor < a <= p.start
+                ]
+                boundary = max(blocking, default=cursor)
+                if boundary > cursor:
+                    segments.append(
+                        Segment(j, "recv", cursor, boundary, str(p.op))
+                    )
+                if p.start > boundary:
+                    segments.append(Segment(j, "wait", boundary, p.start))
+            segments.append(Segment(j, "busy", p.start, p.end, str(p.op)))
+            cursor = p.end
+        if cursor < makespan:
+            segments.append(Segment(j, "wait", cursor, makespan))
+    return segments
 
 
 def simulate(
@@ -255,8 +327,13 @@ def simulate(
             if stuck_count > 5
             else ""
         )
-        raise DeadlockError(
+        err = DeadlockError(
             f"simulation deadlocked with {len(proc_of) - executed} ops "
             f"unexecuted:\n  {shown}{more}"
         )
+        # The partial trace (everything that did execute, every message
+        # that did fly) rides on the exception so callers can still
+        # export segments / a Chrome trace of the run up to the hang.
+        err.trace = trace
+        raise err
     return trace

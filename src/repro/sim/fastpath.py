@@ -32,8 +32,40 @@ from repro.core.schedule import Schedule
 from repro.errors import DeadlockError, SimulationError
 from repro.graph.ddg import DependenceGraph
 from repro.machine.comm import CommModel
+from repro.sim.engine import ExecutionTrace, Message
 
-__all__ = ["evaluate"]
+__all__ = ["evaluate", "evaluate_trace"]
+
+
+def _reconstruct_messages(
+    graph: DependenceGraph,
+    sched: Schedule,
+    proc_of: dict[Op, int],
+    comm: CommModel,
+    use_runtime: bool,
+) -> list[Message]:
+    """The messages the closed-form run implies (src finished -> sent).
+
+    Mirrors the engine exactly under the default (fully overlapped)
+    channel model: a message departs when its source op finishes and
+    arrives ``cost`` cycles later, whether or not the destination ever
+    started — so even a *partial* (deadlocked) schedule yields the same
+    message list the event engine would have recorded.
+    """
+    messages: list[Message] = []
+    for op, j in proc_of.items():
+        for pred, edge in graph.instance_predecessors(op):
+            pj = proc_of.get(pred)
+            if pj is None or pj == j or pred not in sched:
+                continue
+            sent = sched.finish(pred)
+            cost = (
+                comm.runtime_cost(edge, pred)
+                if use_runtime
+                else comm.compile_cost(edge)
+            )
+            messages.append(Message(pred, op, pj, j, sent, sent + cost))
+    return messages
 
 
 def evaluate(
@@ -130,8 +162,37 @@ def evaluate(
         stuck = [
             order[j][ptr[j]] for j in range(processors) if ptr[j] < len(order[j])
         ]
-        raise DeadlockError(
+        err = DeadlockError(
             f"program deadlocked with {len(proc_of) - placed} ops "
             f"unexecuted; stuck heads: {stuck[:5]}"
         )
+        err.trace = ExecutionTrace(
+            sched,
+            _reconstruct_messages(graph, sched, proc_of, comm, use_runtime),
+        )
+        raise err
     return sched
+
+
+def evaluate_trace(
+    graph: DependenceGraph,
+    order: Sequence[Sequence[Op]],
+    comm: CommModel,
+    *,
+    use_runtime: bool = False,
+) -> ExecutionTrace:
+    """:func:`evaluate`, packaged as a full :class:`ExecutionTrace`.
+
+    The schedule comes from the closed-form recurrence; the messages
+    are reconstructed from it (deterministic given the comm model), so
+    the result supports the same segment/Gantt/export tooling as the
+    event-driven engine — and the differential tests can compare the
+    two implementations through one lens.
+    """
+    sched = evaluate(graph, order, comm, use_runtime=use_runtime)
+    proc_of: dict[Op, int] = {
+        op: j for j, ops in enumerate(order) for op in ops
+    }
+    return ExecutionTrace(
+        sched, _reconstruct_messages(graph, sched, proc_of, comm, use_runtime)
+    )

@@ -24,7 +24,7 @@ from repro.machine.comm import FluctuatingComm, UniformComm
 from repro.machine.model import Machine
 from repro.metrics import sequential_time
 from repro.sim.engine import simulate
-from repro.sim.fastpath import evaluate
+from repro.sim.fastpath import evaluate, evaluate_trace
 
 from tests.conftest import connected_cyclic_graphs, loop_graphs
 
@@ -54,6 +54,35 @@ class TestSchedulerPipeline:
         assert fast.makespan() == slow.schedule.makespan()
         for op in fast.ops():
             assert fast.start(op) == slow.schedule.start(op)
+
+    @given(loop_graphs(max_nodes=6))
+    @settings(max_examples=25)
+    def test_engines_agree_segment_by_segment(self, g):
+        """Both simulators, viewed through the busy/wait/recv segment
+        lens of the tracing subsystem, must tell the identical
+        per-processor story — not just agree on the makespan."""
+        m = Machine(3, FluctuatingComm(k=2, mm=3, mode="uniform", seed=11))
+        s = schedule_loop(g, m)
+        prog = s.program(6)
+        fast = evaluate_trace(g, prog, m.comm, use_runtime=True)
+        slow = simulate(g, prog, m.comm, use_runtime=True)
+        segments = fast.segments()
+        assert segments == slow.segments()
+
+        # segments tile each used processor's timeline exactly
+        makespan = fast.schedule.makespan()
+        per_proc: dict[int, list] = {}
+        for seg in segments:
+            per_proc.setdefault(seg.proc, []).append(seg)
+        for ordered in per_proc.values():
+            assert ordered[0].start == 0
+            assert ordered[-1].end == makespan
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.end == b.start
+        busy = sum(s_.cycles for s_ in segments if s_.kind == "busy")
+        assert busy == sum(
+            g.latency(op.node) for op in fast.schedule.ops()
+        )
 
     @given(connected_cyclic_graphs(max_nodes=5))
     @settings(max_examples=25)
@@ -148,3 +177,51 @@ class TestClassificationScheduling:
                 par
                 <= math.ceil(n / m.processors) * g.total_latency()
             )
+
+
+class TestDeadlockTraceExport:
+    """A deadlocked run must still yield an exportable partial trace:
+    both simulators attach everything that *did* execute (and every
+    message that flew) to the DeadlockError."""
+
+    def _deadlocked_program(self):
+        from repro.graph.ddg import DependenceGraph
+
+        g = DependenceGraph("dl")
+        g.add_node("A", 1)
+        g.add_node("B", 1)
+        g.add_node("C", 2)
+        g.add_edge("A", "B")
+        g.add_edge("C", "B")
+        # B is queued ahead of its own local predecessor C: deadlock.
+        order = [[Op("A", 0)], [Op("B", 0), Op("C", 0)]]
+        return g, order
+
+    @pytest.mark.parametrize("engine", [simulate, evaluate_trace])
+    def test_partial_trace_exports_cleanly(self, engine):
+        from repro.errors import DeadlockError
+        from repro.obs import (
+            sim_segment_events,
+            to_chrome_trace,
+            validate_chrome_trace,
+        )
+
+        g, order = self._deadlocked_program()
+        comm = UniformComm(2)
+        with pytest.raises(DeadlockError) as excinfo:
+            engine(g, order, comm, use_runtime=True)
+        trace = excinfo.value.trace
+        assert trace is not None
+
+        # A executed and its (never-consumed) message to B flew
+        segments = trace.segments()
+        assert any(
+            s.kind == "busy" and s.label == "A[0]" for s in segments
+        )
+        (msg,) = trace.messages
+        assert (msg.src, msg.dst) == (Op("A", 0), Op("B", 0))
+        assert msg.arrived == msg.sent + 2
+
+        obj = to_chrome_trace([], extra_events=sim_segment_events(segments))
+        assert validate_chrome_trace(obj) == []
+        assert obj["traceEvents"]  # the partial run is actually visible
