@@ -1,0 +1,138 @@
+"""Overhead regression guard for the CommFabric seam.
+
+The chaos seam lives permanently inside the event engine's hot loop
+(`simulate(..., fabric=)`), so this benchmark pins the contract that
+makes that acceptable — the reliable path pays (nearly) nothing:
+
+* ``fabric=None`` (the default) takes the original code path; its
+  cost is compared against a pre-seam baseline only indirectly, via
+  the generous multiplier against the zero-fault fabric below;
+* an *empty-plan* ``FaultyFabric`` — every chaos branch live, zero
+  faults drawn — stays within a small constant factor of the
+  no-fabric run, and both remain bit-identical to the closed-form
+  fastpath (the differential the tier-1 tests also pin).
+
+Bounds are generous (CI machines are noisy); minima over several
+rounds are compared, which is far more stable than means.
+"""
+
+import time
+
+from repro.chaos import FaultPlan, FaultyFabric
+from repro.core.scheduler import schedule_loop
+from repro.sim.engine import simulate
+from repro.sim.fastpath import evaluate
+from repro.workloads import livermore18
+
+from benchmarks.conftest import record
+
+ITERATIONS = 200
+ROUNDS = 5
+
+
+def _program():
+    w = livermore18()
+    s = schedule_loop(w.graph, w.machine)
+    return w, s.program(ITERATIONS)
+
+
+def _best_seconds(fn) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_zero_fault_fabric_is_bit_identical():
+    w, prog = _program()
+    fast = evaluate(w.graph, prog, w.machine.comm, use_runtime=True)
+    plain = simulate(w.graph, prog, w.machine.comm, use_runtime=True)
+    chaos = simulate(
+        w.graph,
+        prog,
+        w.machine.comm,
+        use_runtime=True,
+        fabric=FaultyFabric(FaultPlan(0)),
+    )
+    assert (
+        fast.makespan()
+        == plain.schedule.makespan()
+        == chaos.schedule.makespan()
+    )
+    for op in fast.ops():
+        assert plain.schedule.start(op) == chaos.schedule.start(op)
+    assert chaos.faults == []
+
+
+def test_no_fabric_speed(benchmark):
+    w, prog = _program()
+    trace = benchmark(
+        simulate, w.graph, prog, w.machine.comm, use_runtime=True
+    )
+    record(benchmark, ops=len(trace.schedule))
+
+
+def test_empty_fabric_overhead_bounded(benchmark):
+    """Zero-fault chaos run within 3x of the no-fabric engine run.
+
+    The real margin is far smaller (the fabric adds one call per
+    message and a few dict probes per start); 3x absorbs CI noise
+    while still catching an accidentally quadratic seam.
+    """
+    w, prog = _program()
+
+    def run():
+        base = _best_seconds(
+            lambda: simulate(w.graph, prog, w.machine.comm, use_runtime=True)
+        )
+        chaos = _best_seconds(
+            lambda: simulate(
+                w.graph,
+                prog,
+                w.machine.comm,
+                use_runtime=True,
+                fabric=FaultyFabric(FaultPlan(0)),
+            )
+        )
+        return base, chaos
+
+    base, chaos = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = chaos / base
+    assert ratio < 3.0, (
+        f"empty-fabric run {ratio:.2f}x the no-fabric engine "
+        f"({chaos * 1e3:.1f}ms vs {base * 1e3:.1f}ms)"
+    )
+    record(benchmark, overhead_ratio=round(ratio, 3))
+
+
+def test_faulty_run_cost_documented(benchmark):
+    """Not a guard — documents what a storm of faults actually costs."""
+    from repro.chaos import DelayJitter, MessageDuplication, MessageLoss
+
+    w, prog = _program()
+    plan = FaultPlan(
+        1,
+        (
+            DelayJitter(max_extra=2, prob=0.5),
+            MessageLoss(prob=0.05, max_retransmits=5, rto=4),
+            MessageDuplication(prob=0.1, copies=1),
+        ),
+    )
+
+    def run():
+        return simulate(
+            w.graph,
+            prog,
+            w.machine.comm,
+            use_runtime=True,
+            fabric=FaultyFabric(plan),
+        )
+
+    trace = benchmark(run)
+    record(
+        benchmark,
+        faults=trace.fault_count(),
+        makespan=trace.schedule.makespan(),
+    )

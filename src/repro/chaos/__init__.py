@@ -1,0 +1,67 @@
+"""Deterministic fault injection and recovery for the MIMD simulator.
+
+The paper's schedules are built for a *known* communication cost; this
+package asks what happens on an actually-misbehaving machine.  A
+seeded :class:`~repro.chaos.faults.FaultPlan` describes the faults
+declaratively (message delay jitter, bounded loss, duplication,
+processor stall windows, fail-stop crashes, cache I/O corruption); a
+:class:`~repro.chaos.fabric.FaultyFabric` turns the plan into per-
+message/per-processor verdicts for the event engine's ``fabric`` seam;
+and :func:`~repro.chaos.recovery.run_resilient` converts the
+structured failures back into results — including **pattern remap
+recovery** after a fail-stop, which restarts the Theorem 1 steady-
+state pattern on the surviving processors.
+
+Every decision is a keyed hash of ``(seed, identity)``, never stateful
+RNG, so a fault sequence replays identically across runs, event
+interleavings, and campaign worker counts.  With an empty plan the
+whole stack is bit-identical to the reliable machine — the
+differential tests pin that.
+
+See DESIGN.md §9 for the fault model and EXPERIMENTS.md for the
+``repro-mimd chaos`` sweep workflow.
+"""
+
+from repro.chaos.cache import ChaosDiskCache, corrupt_cache_dir
+from repro.chaos.driver import (
+    SCENARIOS,
+    run_cache_selfheal,
+    run_chaos_matrix,
+    scenario_plan,
+)
+from repro.chaos.fabric import CommFabric, FaultyFabric, MessagePlan
+from repro.chaos.faults import (
+    CacheFaults,
+    DelayJitter,
+    FailStop,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    MessageDuplication,
+    MessageLoss,
+    ProcessorStall,
+)
+from repro.chaos.recovery import ChaosRunResult, run_resilient
+
+__all__ = [
+    "CacheFaults",
+    "ChaosDiskCache",
+    "ChaosRunResult",
+    "CommFabric",
+    "DelayJitter",
+    "FailStop",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyFabric",
+    "MessageDuplication",
+    "MessageLoss",
+    "MessagePlan",
+    "ProcessorStall",
+    "SCENARIOS",
+    "corrupt_cache_dir",
+    "run_cache_selfheal",
+    "run_chaos_matrix",
+    "run_resilient",
+    "scenario_plan",
+]

@@ -1,0 +1,204 @@
+"""The chaos fault-matrix sweep behind ``repro-mimd chaos``.
+
+:func:`run_chaos_matrix` schedules one workload, then runs it under a
+matrix of fault scenarios x seeds through the resilient executor,
+producing one row per run (outcome, slowdown, degraded-mode rate,
+fault counts) plus a per-scenario survival summary.  Everything is
+keyed off the scenario name and seed — the same matrix reproduces
+bit-identically on every machine.
+
+:func:`run_cache_selfheal` is the acceptance-criteria scenario for the
+artifact store: run a small campaign into a disk cache, deliberately
+corrupt a deterministic fraction of the entries, re-run, and verify
+the second campaign (a) finished with zero failed cells, (b) recomputed
+results identical to the first run, and (c) quarantined the damage.
+
+Fault events are mirrored into the current tracer as zero-length
+``fault``-category spans, so ``repro-mimd profile chaos`` /
+``--trace-out`` put every injected fault on the Perfetto timeline next
+to the pipeline and cell spans.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chaos.faults import (
+    DelayJitter,
+    FailStop,
+    FaultPlan,
+    MessageDuplication,
+    MessageLoss,
+    ProcessorStall,
+)
+from repro.chaos.recovery import ChaosRunResult, run_resilient
+from repro.core.scheduler import schedule_loop
+from repro.obs import current_tracer
+from repro.sim.fastpath import evaluate
+from repro.workloads.base import Workload
+
+__all__ = ["SCENARIOS", "run_cache_selfheal", "run_chaos_matrix", "scenario_plan"]
+
+#: Scenario order is the presentation order of the survival table.
+SCENARIOS = ("none", "jitter", "loss", "dup", "stall", "failstop", "storm")
+
+
+def scenario_plan(
+    scenario: str,
+    seed: int,
+    *,
+    makespan: int,
+    used_processors: Sequence[int],
+) -> FaultPlan:
+    """The named scenario's fault plan, scaled to the workload.
+
+    Stall and fail-stop cycles are placed relative to the fault-free
+    makespan (one third / one half of the way in), and the victim
+    processor is picked from the processors the program actually uses,
+    rotated by the seed — so every seed exercises a different victim.
+    """
+    procs = list(used_processors) or [0]
+    victim = procs[seed % len(procs)]
+    mid = max(1, makespan // 2)
+    third = max(1, makespan // 3)
+    specs = {
+        "none": (),
+        "jitter": (DelayJitter(max_extra=3, prob=0.8),),
+        "loss": (MessageLoss(prob=0.15, max_retransmits=4, rto=4),),
+        "dup": (MessageDuplication(prob=0.3, copies=2),),
+        "stall": (
+            ProcessorStall(
+                proc=victim, at=third, duration=max(2, makespan // 10)
+            ),
+        ),
+        "failstop": (FailStop(proc=victim, at=mid),),
+        "storm": (
+            DelayJitter(max_extra=2, prob=0.5),
+            MessageLoss(prob=0.08, max_retransmits=5, rto=4),
+            MessageDuplication(prob=0.15, copies=1),
+        ),
+    }
+    if scenario not in specs:
+        raise ValueError(
+            f"unknown chaos scenario {scenario!r} "
+            f"(choose from {', '.join(SCENARIOS)})"
+        )
+    return FaultPlan(seed, specs[scenario])
+
+
+def _trace_run(scenario: str, seed: int, result: ChaosRunResult) -> None:
+    """Mirror one run's fault events into the current tracer."""
+    tracer = current_tracer()
+    with tracer.span(f"chaos:{scenario}:s{seed}", "chaos") as sp:
+        sp.set("outcome", result.outcome)
+        sp.set("faults", len(result.fault_events))
+        sp.set("slowdown", result.slowdown)
+        for ev in result.fault_events[:256]:
+            with tracer.span(ev.kind, "fault") as fs:
+                fs.set("cycle", ev.time)
+                if ev.proc is not None:
+                    fs.set("proc", ev.proc)
+                fs.set("detail", ev.detail)
+
+
+def run_chaos_matrix(
+    workload: Workload,
+    seeds: Sequence[int],
+    *,
+    iterations: int = 40,
+    scenarios: Sequence[str] = SCENARIOS,
+) -> dict:
+    """Run ``workload`` under every (scenario, seed) pair.
+
+    Returns a JSON-ready payload: ``rows`` (one dict per run, in
+    scenario-major order) and ``summary`` (per-scenario survival and
+    degradation aggregates).
+    """
+    scheduled = schedule_loop(workload.graph, workload.machine)
+    program = scheduled.program(iterations)
+    baseline = evaluate(
+        workload.graph, program, workload.machine.comm, use_runtime=True
+    )
+    ff_makespan = baseline.makespan()
+    used = baseline.used_processors()
+
+    rows: list[dict] = []
+    for scenario in scenarios:
+        for seed in seeds:
+            plan = scenario_plan(
+                scenario, seed, makespan=ff_makespan, used_processors=used
+            )
+            result = run_resilient(scheduled, iterations, plan)
+            _trace_run(scenario, seed, result)
+            rows.append(
+                {"scenario": scenario, "seed": seed, **result.to_dict()}
+            )
+
+    summary: dict[str, dict] = {}
+    for scenario in scenarios:
+        runs = [r for r in rows if r["scenario"] == scenario]
+        done = [r for r in runs if r["outcome"] in ("ok", "recovered")]
+        slowdowns = [r["slowdown"] for r in done if r["slowdown"]]
+        summary[scenario] = {
+            "runs": len(runs),
+            "completed": len(done),
+            "recovered": sum(1 for r in runs if r["outcome"] == "recovered"),
+            "stalled": sum(1 for r in runs if r["outcome"] == "stalled"),
+            "survival": len(done) / len(runs) if runs else 0.0,
+            "mean_slowdown": (
+                sum(slowdowns) / len(slowdowns) if slowdowns else None
+            ),
+        }
+    return {
+        "workload": workload.name,
+        "iterations": iterations,
+        "seeds": list(seeds),
+        "fault_free_makespan": ff_makespan,
+        "processors": len(program),
+        "rows": rows,
+        "summary": summary,
+    }
+
+
+def run_cache_selfheal(
+    *, seed: int = 1, cache_dir: str | None = None, iterations: int = 24
+) -> dict:
+    """Corrupt a campaign's disk cache and prove the re-run self-heals.
+
+    Runs a small Table-1 campaign into ``cache_dir`` (a fresh temp
+    directory when ``None``), vandalizes a deterministic fraction of
+    the cached entries (:func:`~repro.chaos.cache.corrupt_cache_dir`),
+    re-runs the identical campaign, and reports whether the re-run
+    completed every cell with results bit-identical to the first run
+    while quarantining the damaged files.
+    """
+    import tempfile
+
+    from repro.chaos.cache import corrupt_cache_dir
+    from repro.experiments import table1_cells
+    from repro.runner import DiskCache, run_campaign
+
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    cells = table1_cells([seed], iterations=iterations)
+    first = run_campaign(cells, cache_dir=root)
+    corrupted = corrupt_cache_dir(root, seed=seed, fraction=0.6)
+    second = run_campaign(cells, cache_dir=root)
+
+    disk = DiskCache(root)
+    quarantined = disk.quarantined()
+    first_values = [r.value for r in first.results]
+    second_values = [r.value for r in second.results]
+    return {
+        "cache_dir": root,
+        "cells": len(cells),
+        "corrupted_entries": len(corrupted),
+        "quarantined_files": len(quarantined),
+        "first_failed_cells": len(first.failed_cells),
+        "second_failed_cells": len(second.failed_cells),
+        "results_identical": first_values == second_values,
+        "healed": (
+            not second.failed_cells
+            and first_values == second_values
+            and (not corrupted or bool(quarantined))
+        ),
+    }

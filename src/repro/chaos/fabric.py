@@ -1,0 +1,234 @@
+"""The ``CommFabric`` seam between the event engine and the fault plan.
+
+:func:`repro.sim.engine.simulate` accepts ``fabric=None`` (the default:
+the perfectly reliable machine, bit-identical to the pre-chaos engine)
+or a :class:`CommFabric`.  The engine asks the fabric three questions —
+*what happens to this message*, *is this processor crashed*, *is this
+processor stalled right now* — and reports the faults it acted on back
+through :meth:`CommFabric.note`.  All answers are pure functions of the
+:class:`~repro.chaos.faults.FaultPlan`'s seed and the message/processor
+identity, so a fabric can be rebuilt from its plan and replayed
+identically.
+
+:class:`FaultyFabric` is the real implementation; the base
+:class:`CommFabric` is the null fabric (reliable, no faults) used by
+the differential tests to prove the seam itself adds nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.faults import FaultEvent, FaultPlan
+
+__all__ = ["CommFabric", "FaultyFabric", "MessagePlan"]
+
+
+@dataclass(frozen=True)
+class MessagePlan:
+    """The fabric's verdict on one message.
+
+    ``accepted`` is the arrival cycle of the first surviving
+    transmission (``None`` when every attempt was lost — the message
+    never arrives and the run will stall).  ``deliveries`` are *all*
+    delivery cycles the engine should post, including duplicate copies;
+    the receiver's idempotent-receive layer keeps the first and drops
+    the rest.  ``attempts`` counts transmissions tried (1 = no loss).
+    """
+
+    accepted: int | None
+    deliveries: tuple[int, ...]
+    attempts: int = 1
+
+
+class CommFabric:
+    """Null fabric: every message arrives exactly when the comm model
+    says, no processor crashes or stalls.  Subclass and override to
+    inject faults."""
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+
+    def note(self, event: FaultEvent) -> None:
+        """Record a fault the engine acted on (fail-stop, dup drop)."""
+        self.events.append(event)
+
+    # The engine reports faults it enacts through these helpers rather
+    # than constructing FaultEvents itself, so :mod:`repro.sim` never
+    # imports :mod:`repro.chaos` — the dependency stays one-way.
+    def note_fail_stop(self, proc: int, cycle: int, head) -> None:
+        self.note(
+            FaultEvent(
+                "fail_stop",
+                cycle,
+                proc,
+                f"P{proc} halted at cycle {cycle}; {head} and later ops lost",
+            )
+        )
+
+    def note_dup_dropped(self, src, dst, time: int, proc: int) -> None:
+        self.note(
+            FaultEvent(
+                "dup_dropped", time, proc, f"duplicate {src}->{dst} dropped"
+            )
+        )
+
+    def plan_message(
+        self,
+        edge,
+        src,
+        dst,
+        src_proc: int,
+        dst_proc: int,
+        sent: int,
+        arrival: int,
+    ) -> MessagePlan:
+        """Decide the fate of the message ``src -> dst`` departing at
+        ``sent`` with nominal arrival ``arrival`` (link-contention and
+        FIFO adjustments already applied by the engine)."""
+        return MessagePlan(arrival, (arrival,))
+
+    def crash_cycle(self, proc: int) -> int | None:
+        """Cycle at which ``proc`` fail-stops; ``None`` if it survives."""
+        return None
+
+    def stall_until(self, proc: int, now: int) -> int | None:
+        """If ``proc`` is inside a stall window at ``now``, the cycle
+        the window (chain) ends; else ``None``."""
+        return None
+
+
+class FaultyFabric(CommFabric):
+    """A :class:`CommFabric` driven by a :class:`FaultPlan`.
+
+    With an empty plan this behaves exactly like the null fabric — the
+    differential tests exercise precisely that configuration.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        super().__init__()
+        self.plan = plan
+        self._stalls_noted: set[int] = set()
+        # retransmit budget / timeout across all loss specs
+        self._attempts = 1 + max(
+            (s.max_retransmits for s in plan.losses), default=0
+        )
+        self._rto = min((s.rto for s in plan.losses), default=1)
+
+    # ------------------------------------------------------------------
+    def _jitter(self, key: str) -> int:
+        extra = 0
+        for i, spec in enumerate(self.plan.jitters):
+            if spec.max_extra == 0:
+                continue
+            if self.plan.uniform("jit?", i, key) < spec.prob:
+                extra += self.plan.randint(0, spec.max_extra, "jit", i, key)
+        return extra
+
+    def _attempt_lost(self, key: str, attempt: int) -> bool:
+        return any(
+            spec.prob > 0.0
+            and self.plan.uniform("loss", i, key, attempt) < spec.prob
+            for i, spec in enumerate(self.plan.losses)
+        )
+
+    def _duplicates(self, key: str, accepted: int) -> list[int]:
+        copies: list[int] = []
+        for i, spec in enumerate(self.plan.duplications):
+            if self.plan.uniform("dup?", i, key) < spec.prob:
+                for c in range(spec.copies):
+                    copies.append(
+                        accepted + 1 + self.plan.randint(0, 4, "dup", i, key, c)
+                    )
+        return copies
+
+    # ------------------------------------------------------------------
+    def plan_message(
+        self,
+        edge,
+        src,
+        dst,
+        src_proc: int,
+        dst_proc: int,
+        sent: int,
+        arrival: int,
+    ) -> MessagePlan:
+        key = f"{src}>{dst}@{edge.distance}"
+        cost = arrival - sent
+        extra = self._jitter(key)
+        if extra:
+            self.events.append(
+                FaultEvent(
+                    "msg_delay", sent, dst_proc, f"{src}->{dst} +{extra} cycles"
+                )
+            )
+
+        accepted: int | None = None
+        attempt = 0
+        while attempt < self._attempts:
+            depart = sent + attempt * self._rto
+            if not self._attempt_lost(key, attempt):
+                accepted = depart + cost + extra
+                break
+            self.events.append(
+                FaultEvent(
+                    "msg_lost" if attempt + 1 < self._attempts
+                    else "msg_lost_permanent",
+                    depart,
+                    dst_proc,
+                    f"{src}->{dst} attempt {attempt + 1}/{self._attempts}",
+                )
+            )
+            attempt += 1
+            if attempt < self._attempts:
+                self.events.append(
+                    FaultEvent(
+                        "msg_retransmit",
+                        sent + attempt * self._rto,
+                        src_proc,
+                        f"{src}->{dst} attempt {attempt + 1}",
+                    )
+                )
+        if accepted is None:
+            return MessagePlan(None, (), self._attempts)
+
+        deliveries = [accepted]
+        dups = self._duplicates(key, accepted)
+        if dups:
+            self.events.append(
+                FaultEvent(
+                    "msg_dup",
+                    accepted,
+                    dst_proc,
+                    f"{src}->{dst} duplicated x{len(dups)}",
+                )
+            )
+            deliveries.extend(dups)
+        return MessagePlan(accepted, tuple(deliveries), attempt + 1)
+
+    def crash_cycle(self, proc: int) -> int | None:
+        return self.plan.crash_cycle(proc)
+
+    def stall_until(self, proc: int, now: int) -> int | None:
+        # Chain overlapping windows: keep extending until no window
+        # covers the resume cycle.
+        resume = now
+        progressed = True
+        while progressed:
+            progressed = False
+            for idx, spec in enumerate(self.plan.stalls):
+                if spec.proc == proc and spec.at <= resume < spec.end:
+                    resume = spec.end
+                    progressed = True
+                    if idx not in self._stalls_noted:
+                        self._stalls_noted.add(idx)
+                        self.events.append(
+                            FaultEvent(
+                                "stall",
+                                spec.at,
+                                proc,
+                                f"P{proc} stalled for {spec.duration} "
+                                f"cycles from {spec.at}",
+                            )
+                        )
+        return resume if resume > now else None

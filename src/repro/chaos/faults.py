@@ -1,0 +1,270 @@
+"""Declarative fault specs and the seeded, deterministic fault plan.
+
+A :class:`FaultPlan` is (seed, tuple of :class:`FaultSpec`).  Every
+fault decision — does this message get delayed, lost, duplicated; is
+this cache entry corrupted — is a *pure function* of the plan's seed
+and the identity of the thing being faulted (edge endpoints, source
+iteration, retransmit attempt, cache key), derived through a keyed
+blake2b hash exactly like :class:`~repro.machine.comm.FluctuatingComm`
+derives its fluctuating message costs.  No stateful RNG is consumed in
+event order, so the same ``(workload, plan)`` pair reproduces the
+identical fault sequence across runs, interleavings, and campaign
+worker counts — the property the deterministic-replay tests pin.
+
+Message-fault semantics (consumed by
+:class:`~repro.chaos.fabric.FaultyFabric`):
+
+* ``DelayJitter`` — each message's cost gains an extra ``[0,
+  max_extra]`` cycles with probability ``prob``;
+* ``MessageLoss`` — each transmission *attempt* is lost with
+  probability ``prob``; the sender retransmits after ``rto`` cycles,
+  up to ``max_retransmits`` times; a message whose every attempt is
+  lost never arrives (the run then stalls and the engine raises
+  :class:`~repro.errors.StallError`);
+* ``MessageDuplication`` — an accepted message is re-delivered
+  ``copies`` extra times with probability ``prob``; the receiver's
+  idempotent-receive layer drops the duplicates;
+* ``ProcessorStall`` — processor ``proc`` cannot *start* ops during
+  ``[at, at + duration)`` (in-flight ops finish normally);
+* ``FailStop`` — processor ``proc`` halts at cycle ``at``: ops
+  finishing after ``at`` are lost, nothing further starts or sends;
+* ``CacheFaults`` — each :class:`~repro.runner.diskcache.DiskCache`
+  write is corrupted (truncate / bit-flip / stale-key payload swap)
+  with probability ``prob`` (consumed by
+  :class:`~repro.chaos.cache.ChaosDiskCache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError
+
+__all__ = [
+    "CacheFaults",
+    "DelayJitter",
+    "FailStop",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "MessageDuplication",
+    "MessageLoss",
+    "ProcessorStall",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired during a run (for reporting).
+
+    ``time`` is the simulated cycle the fault acted at; ``kind`` is a
+    short tag (``msg_delay``, ``msg_lost``, ``msg_retransmit``,
+    ``msg_lost_permanent``, ``msg_dup``, ``dup_dropped``, ``stall``,
+    ``fail_stop``, ``op_lost``, ``cache_corrupt``); ``proc`` the
+    affected processor when meaningful; ``detail`` a human-readable
+    elaboration.
+    """
+
+    kind: str
+    time: int
+    proc: int | None = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "proc": self.proc,
+            "detail": self.detail,
+        }
+
+
+class FaultSpec:
+    """Marker base class for declarative fault specifications."""
+
+
+def _check_prob(prob: float, what: str) -> None:
+    if not 0.0 <= prob <= 1.0:
+        raise FaultInjectionError(
+            f"{what} probability must be in [0, 1], got {prob}"
+        )
+
+
+@dataclass(frozen=True)
+class DelayJitter(FaultSpec):
+    max_extra: int = 3
+    prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, "DelayJitter")
+        if self.max_extra < 0:
+            raise FaultInjectionError(
+                f"DelayJitter max_extra must be >= 0, got {self.max_extra}"
+            )
+
+
+@dataclass(frozen=True)
+class MessageLoss(FaultSpec):
+    prob: float = 0.1
+    max_retransmits: int = 3
+    rto: int = 8  #: retransmit timeout in cycles
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, "MessageLoss")
+        if self.max_retransmits < 0:
+            raise FaultInjectionError(
+                "MessageLoss max_retransmits must be >= 0, "
+                f"got {self.max_retransmits}"
+            )
+        if self.rto < 1:
+            raise FaultInjectionError(
+                f"MessageLoss rto must be >= 1, got {self.rto}"
+            )
+
+
+@dataclass(frozen=True)
+class MessageDuplication(FaultSpec):
+    prob: float = 0.1
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, "MessageDuplication")
+        if self.copies < 1:
+            raise FaultInjectionError(
+                f"MessageDuplication copies must be >= 1, got {self.copies}"
+            )
+
+
+@dataclass(frozen=True)
+class ProcessorStall(FaultSpec):
+    proc: int
+    at: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise FaultInjectionError(
+                f"ProcessorStall proc must be >= 0, got {self.proc}"
+            )
+        if self.at < 0 or self.duration < 1:
+            raise FaultInjectionError(
+                f"ProcessorStall needs at >= 0 and duration >= 1, "
+                f"got at={self.at} duration={self.duration}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class FailStop(FaultSpec):
+    proc: int
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise FaultInjectionError(
+                f"FailStop proc must be >= 0, got {self.proc}"
+            )
+        if self.at < 0:
+            raise FaultInjectionError(
+                f"FailStop cycle must be >= 0, got {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheFaults(FaultSpec):
+    prob: float = 0.2
+    kinds: tuple[str, ...] = ("truncate", "bitflip", "stale")
+
+    _KNOWN = frozenset({"truncate", "bitflip", "stale"})
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, "CacheFaults")
+        unknown = set(self.kinds) - self._KNOWN
+        if not self.kinds or unknown:
+            raise FaultInjectionError(
+                f"CacheFaults kinds must be a non-empty subset of "
+                f"{sorted(self._KNOWN)}, got {self.kinds!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of faults to inject into one run."""
+
+    seed: int
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of specs; freeze to a tuple.
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultInjectionError(
+                    f"FaultPlan specs must be FaultSpec instances, "
+                    f"got {spec!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # deterministic decision primitives
+    # ------------------------------------------------------------------
+    def uniform(self, *key: object) -> float:
+        """Deterministic ``[0, 1)`` draw keyed by (seed, *key)."""
+        text = "|".join([str(self.seed), *map(str, key)])
+        h = hashlib.blake2b(text.encode(), digest_size=8).digest()
+        return int.from_bytes(h, "big") / 2**64
+
+    def randint(self, lo: int, hi: int, *key: object) -> int:
+        """Deterministic integer in ``[lo, hi]`` keyed by (seed, *key)."""
+        if hi < lo:
+            raise FaultInjectionError(f"randint range empty: [{lo}, {hi}]")
+        return lo + int(self.uniform(*key) * (hi - lo + 1))
+
+    # ------------------------------------------------------------------
+    # typed views
+    # ------------------------------------------------------------------
+    def of_type(self, cls: type) -> list:
+        return [s for s in self.specs if isinstance(s, cls)]
+
+    @property
+    def jitters(self) -> list[DelayJitter]:
+        return self.of_type(DelayJitter)
+
+    @property
+    def losses(self) -> list[MessageLoss]:
+        return self.of_type(MessageLoss)
+
+    @property
+    def duplications(self) -> list[MessageDuplication]:
+        return self.of_type(MessageDuplication)
+
+    @property
+    def stalls(self) -> list[ProcessorStall]:
+        return self.of_type(ProcessorStall)
+
+    @property
+    def fail_stops(self) -> list[FailStop]:
+        return self.of_type(FailStop)
+
+    @property
+    def cache_faults(self) -> list[CacheFaults]:
+        return self.of_type(CacheFaults)
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (the differential oracle)."""
+        return not self.specs
+
+    def crash_cycle(self, proc: int) -> int | None:
+        """Earliest fail-stop cycle of ``proc``; ``None`` if it survives."""
+        cycles = [f.at for f in self.fail_stops if f.proc == proc]
+        return min(cycles) if cycles else None
+
+    def describe(self) -> str:
+        if self.is_null:
+            return f"FaultPlan(seed={self.seed}, no faults)"
+        kinds = ", ".join(type(s).__name__ for s in self.specs)
+        return f"FaultPlan(seed={self.seed}: {kinds})"

@@ -14,6 +14,7 @@ Usage::
     repro-mimd codegen       # Fig. 10-style partitioned code for fig7
     repro-mimd stages fig7   # per-pass pipeline timings, cold vs warm
     repro-mimd campaign table1 --workers 4   # sharded parallel campaign
+    repro-mimd chaos fig7 --seeds 1,2    # fault-injection matrix + self-heal
     repro-mimd profile table1            # run under the tracer, print profile
     repro-mimd all           # everything above
 
@@ -356,6 +357,7 @@ def _cmd_campaign(args: argparse.Namespace):
         cache_dir=args.cache_dir,
         cell_timeout=args.cell_timeout,
         retries=args.retries,
+        retry_backoff=args.retry_backoff,
         shard=args.shard,
     )
     shard_note = f", shard {args.shard}" if args.shard else ""
@@ -385,6 +387,39 @@ def _cmd_campaign(args: argparse.Namespace):
     payload = campaign.to_dict()
     to_json(payload, args.bench)
     print(f"(wrote {args.bench})")
+    return payload
+
+
+def _cmd_chaos(args: argparse.Namespace):
+    """Fault matrix sweep + cache self-heal check (`repro-mimd chaos`)."""
+    from repro.chaos import run_cache_selfheal, run_chaos_matrix
+    from repro.report import format_chaos_table
+    from repro.workloads import suite
+
+    target = args.file or "fig7"
+    workloads = suite()
+    if target not in workloads:
+        raise SystemExit(
+            f"chaos: unknown workload {target!r} "
+            f"(named workloads: {', '.join(sorted(workloads))})"
+        )
+    seeds = _parse_seed_spec(args.seeds) if args.seeds else [1, 2]
+    payload = run_chaos_matrix(
+        workloads[target], seeds, iterations=args.iterations
+    )
+    print(format_chaos_table(payload))
+
+    heal = run_cache_selfheal(
+        seed=seeds[0], cache_dir=args.cache_dir, iterations=args.iterations
+    )
+    payload["cache_selfheal"] = heal
+    print(
+        f"cache self-heal: corrupted {heal['corrupted_entries']} of the "
+        f"cached entries, re-run had {heal['second_failed_cells']} failed "
+        f"cell(s), quarantined {heal['quarantined_files']} file(s), "
+        f"results identical: {heal['results_identical']} -> "
+        + ("HEALED" if heal["healed"] else "NOT HEALED")
+    )
     return payload
 
 
@@ -437,10 +472,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all", "schedule", "campaign", "profile"],
+        choices=[*_COMMANDS, "all", "schedule", "campaign", "chaos", "profile"],
         help="which artifact to regenerate, 'schedule' for a file, "
         "'stages' for per-pass pipeline timings, 'campaign' for the "
-        "sharded parallel runner, or 'profile' to trace a subcommand",
+        "sharded parallel runner, 'chaos' for the fault-injection "
+        "matrix, or 'profile' to trace a subcommand",
     )
     parser.add_argument(
         "file",
@@ -524,6 +560,14 @@ def main(argv: list[str] | None = None) -> int:
         "(default 1)",
     )
     campaign_opts.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="base of the seeded exponential backoff slept before "
+        "each retry wave (default 0.25; 0 retries immediately)",
+    )
+    campaign_opts.add_argument(
         "--bench",
         metavar="PATH",
         default="BENCH_campaign.json",
@@ -545,10 +589,10 @@ def main(argv: list[str] | None = None) -> int:
     profiling = args.experiment == "profile"
     if profiling:
         target = args.file or "fig7"
-        if target not in _COMMANDS and target != "campaign":
+        if target not in _COMMANDS and target not in ("campaign", "chaos"):
             parser.error(
                 f"profile: unknown subcommand {target!r} (choose from "
-                f"{', '.join([*_COMMANDS, 'campaign'])})"
+                f"{', '.join([*_COMMANDS, 'campaign', 'chaos'])})"
             )
         args.experiment = target
         args.file = None  # the traced subcommand picks its own default
@@ -564,6 +608,8 @@ def main(argv: list[str] | None = None) -> int:
                     payload = _cmd_schedule(args)
                 elif args.experiment == "campaign":
                     payload = _cmd_campaign(args)
+                elif args.experiment == "chaos":
+                    payload = _cmd_chaos(args)
                 elif args.experiment == "all":
                     payload = {"experiments": {}}
                     for name, fn in _COMMANDS.items():

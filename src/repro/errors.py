@@ -57,6 +57,18 @@ class SimulationError(ReproError):
     """The simulated multiprocessor reached an inconsistent state."""
 
 
+class ScheduleValidationError(SimulationError):
+    """A program handed to the simulator is malformed.
+
+    Raised at the sim boundary — before any event executes — naming the
+    offending node/op (unknown graph node, duplicated instance,
+    negative iteration, empty processor set), instead of surfacing as a
+    ``KeyError`` deep inside the engine.  Subclasses
+    :class:`SimulationError` so existing callers that catch the broad
+    class keep working.
+    """
+
+
 class DeadlockError(SimulationError):
     """No processor can make progress but the program is unfinished.
 
@@ -68,6 +80,44 @@ class DeadlockError(SimulationError):
     """
 
     trace = None
+
+
+class StallError(DeadlockError):
+    """The simulation stalled because of injected communication faults.
+
+    Raised by the chaos-instrumented engine when the run cannot finish
+    through no fault of the *schedule*: a message was lost beyond its
+    retransmit budget, or the watchdog cycle horizon elapsed.  Carries
+    the same per-head diagnostics and partial ``trace`` as
+    :class:`DeadlockError` (it subclasses it), plus ``lost_messages``
+    — the ``(src, dst)`` op pairs that were permanently lost.
+    """
+
+    lost_messages: tuple = ()
+
+
+class ProcessorFailureError(SimulationError):
+    """A fail-stop processor crash prevented the run from completing.
+
+    ``failed`` maps crashed processor ids to their crash cycles;
+    ``executed`` is the set of op instances that *finished* before the
+    failure tore the run down; ``trace`` is the partial
+    :class:`~repro.sim.engine.ExecutionTrace`.  The recovery layer
+    (:mod:`repro.chaos.recovery`) catches this and remaps the pattern
+    onto the surviving processors.
+    """
+
+    trace = None
+
+    def __init__(self, message: str, *, failed=None, executed=None) -> None:
+        super().__init__(message)
+        self.failed: dict[int, int] = dict(failed or {})
+        self.executed: frozenset = frozenset(executed or ())
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or fault spec is malformed (bad probability,
+    unknown processor, negative cycle, ...)."""
 
 
 class CodegenError(ReproError):

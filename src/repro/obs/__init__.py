@@ -24,6 +24,7 @@ or programmatically::
 """
 
 from repro.obs.export import (
+    atomic_write_bytes,
     atomic_write_text,
     sim_segment_events,
     text_profile,
@@ -62,6 +63,7 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "atomic_write_bytes",
     "atomic_write_text",
     "current_tracer",
     "percentile",

@@ -27,6 +27,7 @@ from repro.obs.metrics import summarize
 from repro.obs.tracer import Span
 
 __all__ = [
+    "atomic_write_bytes",
     "atomic_write_text",
     "sim_segment_events",
     "text_profile",
@@ -36,8 +37,8 @@ __all__ = [
 ]
 
 
-def atomic_write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename).
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
 
     The temp file lives in the destination directory so ``os.replace``
     stays a same-filesystem atomic rename; readers see either the old
@@ -48,8 +49,8 @@ def atomic_write_text(path: str, text: str) -> None:
         dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(text)
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
@@ -59,6 +60,13 @@ def atomic_write_text(path: str, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """:func:`atomic_write_bytes` for text (UTF-8)."""
+    if not isinstance(text, str):
+        raise TypeError(f"atomic_write_text needs str, got {type(text)}")
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 # ----------------------------------------------------------------------

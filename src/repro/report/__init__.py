@@ -11,6 +11,7 @@ from repro.report.export import (
 )
 from repro.report.gantt import gantt, pattern_chart, segment_chart, trace_chart
 from repro.report.tables import (
+    format_chaos_table,
     format_measurement,
     format_measurements,
     format_table1,
@@ -19,6 +20,7 @@ from repro.report.tables import (
 __all__ = [
     "compile_report",
     "fig8_to_dict",
+    "format_chaos_table",
     "format_measurement",
     "format_measurements",
     "format_table1",

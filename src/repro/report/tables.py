@@ -6,7 +6,12 @@ from typing import Iterable
 
 from repro.experiments import Measurement, Table1Result
 
-__all__ = ["format_measurement", "format_measurements", "format_table1"]
+__all__ = [
+    "format_chaos_table",
+    "format_measurement",
+    "format_measurements",
+    "format_table1",
+]
 
 
 def format_measurement(m: Measurement) -> str:
@@ -61,4 +66,56 @@ def format_table1(t: Table1Result) -> str:
             f"factor {t.factor(mm):4.1f} (paper {pf:.1f})   "
             f"loops where DOACROSS wins: {t.losses(mm)}"
         )
+    return "\n".join(lines)
+
+
+def format_chaos_table(payload: dict) -> str:
+    """Survival/degradation table of a chaos matrix sweep.
+
+    ``payload`` is the dict returned by
+    :func:`repro.chaos.driver.run_chaos_matrix`: one line per scenario
+    with survival rate, recovery/stall counts, and the mean slowdown of
+    the runs that completed (fault-free = 1.0).
+    """
+    header = (
+        f"{'scenario':<10} {'runs':>4} {'ok':>4} {'recov':>5} "
+        f"{'stall':>5} {'survival':>8} {'slowdown':>9}"
+    )
+    lines = [
+        f"chaos matrix: {payload['workload']} x seeds {payload['seeds']} "
+        f"({payload['iterations']} iterations, "
+        f"fault-free makespan {payload['fault_free_makespan']})",
+        header,
+        "-" * len(header),
+    ]
+    for scenario, s in payload["summary"].items():
+        plain_ok = s["completed"] - s["recovered"]
+        slow = (
+            f"{s['mean_slowdown']:8.2f}x"
+            if s["mean_slowdown"] is not None
+            else "        -"
+        )
+        lines.append(
+            f"{scenario:<10} {s['runs']:>4} {plain_ok:>4} "
+            f"{s['recovered']:>5} {s['stalled']:>5} "
+            f"{s['survival'] * 100:>7.0f}% {slow}"
+        )
+    degraded = [
+        r
+        for r in payload["rows"]
+        if r["outcome"] == "recovered" and r["degraded_cpi"] is not None
+    ]
+    if degraded:
+        lines.append("recovered runs (degraded-mode rate vs fault-free):")
+        for r in degraded:
+            lines.append(
+                f"  {r['scenario']}:s{r['seed']}: lost "
+                f"P{sorted(r['failed_processors'])} at cycle "
+                f"{min(r['failed_processors'].values())}, restarted "
+                f"iteration {r['restart_boundary']} on "
+                f"{len(r['survivors'])} survivor(s) via "
+                f"{r['degraded_mode']}: {r['degraded_cpi']:.2f} "
+                f"cycles/iter (fault-free {r['fault_free_cpi']:.2f}, "
+                f"sequential {r['sequential_cpi']:.2f})"
+            )
     return "\n".join(lines)

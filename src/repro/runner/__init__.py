@@ -27,6 +27,7 @@ from repro.runner.cells import (
 from repro.runner.core import (
     CampaignResult,
     CellResult,
+    backoff_delay,
     parse_shard,
     run_campaign,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "CellResult",
     "DiskCache",
     "TieredCache",
+    "backoff_delay",
     "execute_cell",
     "parse_shard",
     "register_cell_kind",

@@ -31,6 +31,7 @@ story through :meth:`CampaignResult.to_dict` — which the CLI writes as
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -49,6 +50,7 @@ from repro.runner.diskcache import DiskCache, TieredCache
 __all__ = [
     "CampaignResult",
     "CellResult",
+    "backoff_delay",
     "parse_shard",
     "run_campaign",
 ]
@@ -93,6 +95,7 @@ class CampaignResult:
     shard: tuple[int, int] | None
     wall_seconds: float
     cache_dir: str | None
+    backoffs: tuple[float, ...] = ()  #: sleep before each retry wave
 
     @property
     def ok(self) -> bool:
@@ -180,6 +183,7 @@ class CampaignResult:
                 ),
                 "cache_dir": self.cache_dir,
                 "wall_seconds": round(self.wall_seconds, 6),
+                "retry_backoffs": [round(b, 6) for b in self.backoffs],
                 "executed_cells": len(self.results),
                 "campaign_cells": len(self.cells),
                 "per_cell": [r.to_dict() for r in self.results],
@@ -187,6 +191,28 @@ class CampaignResult:
                 "histograms": self.histograms(),
             },
         }
+
+
+def backoff_delay(
+    base: float,
+    attempt: int,
+    pending_ids: Sequence[int],
+    *,
+    cap: float = 8.0,
+) -> float:
+    """Seconds to sleep before retry wave ``attempt`` (2, 3, ...).
+
+    Exponential (``base * 2**(attempt-2)``) with *deterministic* jitter
+    in ``[0.5, 1.5) x nominal``, derived by hashing the attempt number
+    and the pending cell indices — no clock or RNG state, so two runs
+    of the same campaign back off identically, while distinct retry
+    waves (different survivors) decorrelate.  Capped at ``cap``.
+    """
+    nominal = base * 2 ** (attempt - 2)
+    text = f"{attempt}|{','.join(map(str, pending_ids))}"
+    h = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    jitter = 0.5 + int.from_bytes(h, "big") / 2**64
+    return min(cap, nominal * jitter)
 
 
 def parse_shard(spec: str) -> tuple[int, int]:
@@ -351,6 +377,7 @@ def run_campaign(
     cache_dir: str | None = None,
     cell_timeout: float | None = None,
     retries: int = 1,
+    retry_backoff: float = 0.25,
     shard: tuple[int, int] | str | None = None,
     tracer: Tracer | None = None,
 ) -> CampaignResult:
@@ -371,6 +398,12 @@ def run_campaign(
         Per-cell wall-clock budget in seconds (``None``: no limit).
     retries:
         Extra attempts for cells that failed, crashed or timed out.
+    retry_backoff:
+        Base seconds of the exponential backoff slept before each
+        retry wave (see :func:`backoff_delay`); ``0`` restores the old
+        immediate-retry behaviour.  Each wave's actual delay is
+        recorded in the campaign span args (``backoff.attemptN``) and
+        in ``stats.retry_backoffs``.
     shard:
         ``(i, n)`` or ``"i/n"``: execute only cells whose campaign
         index is congruent to ``i`` mod ``n`` — for spreading one
@@ -388,6 +421,10 @@ def run_campaign(
         raise ReproError(f"workers must be >= 1, got {workers}")
     if retries < 0:
         raise ReproError(f"retries must be >= 0, got {retries}")
+    if retry_backoff < 0:
+        raise ReproError(
+            f"retry_backoff must be >= 0, got {retry_backoff}"
+        )
     if isinstance(shard, str):
         shard = parse_shard(shard)
 
@@ -405,6 +442,7 @@ def run_campaign(
     t0 = time.perf_counter()
     results: dict[int, CellResult] = {}
     last_error: dict[int, str] = {}
+    backoffs: list[float] = []
     pending = list(selected)
     attempt = 0
     with tracer.span("campaign", "campaign") as campaign_span:
@@ -413,6 +451,11 @@ def run_campaign(
         campaign_span.set("cache_dir", cache_dir)
         while pending and attempt <= retries:
             attempt += 1
+            if attempt > 1 and retry_backoff > 0:
+                delay = backoff_delay(retry_backoff, attempt, sorted(pending))
+                campaign_span.set(f"backoff.attempt{attempt}", round(delay, 6))
+                backoffs.append(delay)
+                time.sleep(delay)
             if workers == 1:
                 payloads: dict[int, dict[str, Any]] = {}
                 unfinished: dict[int, str] = {}
@@ -481,4 +524,5 @@ def run_campaign(
         shard=shard,
         wall_seconds=time.perf_counter() - t0,
         cache_dir=cache_dir,
+        backoffs=tuple(backoffs),
     )

@@ -15,34 +15,58 @@ memory); ``put`` writes through to both.  A campaign worker holding a
 worker and with past runs — a warm re-run of ``run_table1`` executes
 zero scheduler passes even in a cold-started process.
 
-Durability notes: writes are atomic (temp file + ``os.replace``), so a
-worker killed mid-write never corrupts an entry; unreadable or
-unpicklable entries are treated as misses/skips, never errors — the
-cache is an accelerator, correctness always comes from re-running the
-pass.
+Durability: the cache is *self-healing*.  Every file carries a magic
+tag plus a keyed blake2b checksum over (key, payload); ``get`` verifies
+both before unpickling, so a truncated write, a flipped bit, or a file
+copied under the wrong key (stale key) is detected, **quarantined**
+(moved into ``<root>/_quarantine/``, counted in ``corrupt_evictions``)
+and reported as a plain miss — a campaign over a trashed cache
+directory recomputes and overwrites, it never crashes.  Writes go
+through :func:`repro.obs.export.atomic_write_bytes` (temp file + fsync
++ ``os.replace``), so a worker killed mid-write can at worst leave a
+stale temp file, never a half-entry under a live key.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
 
+from repro.obs.export import atomic_write_bytes
 from repro.pipeline.cache import ArtifactCache, CacheEntry
 
 __all__ = ["DiskCache", "TieredCache"]
 
 _SUFFIX = ".pkl"
+_MAGIC = b"RDC1"
+_DIGEST_SIZE = 16
+_QUARANTINE = "_quarantine"
+
+
+def _checksum(key: str, blob: bytes) -> bytes:
+    """Digest binding the payload to its key, so a valid file served
+    under the wrong key still fails verification."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    h.update(key.encode())
+    h.update(blob)
+    return h.digest()
+
+
+def encode_entry(key: str, blob: bytes) -> bytes:
+    """The on-disk framing: magic + checksum(key, payload) + payload."""
+    return _MAGIC + _checksum(key, blob) + blob
 
 
 class DiskCache:
     """Content-addressed store of cache entries under one directory.
 
     Keys are the pipeline's chained pass keys (hex digests); each maps
-    to one pickle file.  Safe for concurrent use by many processes:
-    writers are atomic, readers fall back to a miss on any error, and
-    two processes writing the same key write identical content (keys
-    are content addresses).
+    to one checksummed file.  Safe for concurrent use by many
+    processes: writers are atomic, readers verify-then-unpickle and
+    quarantine anything that fails, and two processes writing the same
+    key write identical content (keys are content addresses).
     """
 
     def __init__(self, root: str) -> None:
@@ -51,6 +75,7 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.put_errors = 0
+        self.corrupt_evictions = 0
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + _SUFFIX)
@@ -63,11 +88,60 @@ class DiskCache:
         except OSError:
             return 0
 
+    # ------------------------------------------------------------------
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a bad file out of the way so it is recomputed, not
+        retried; keep it (uniquely renamed) for post-mortems."""
+        self.corrupt_evictions += 1
+        qdir = os.path.join(self.root, _QUARANTINE)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            fd, target = tempfile.mkstemp(
+                dir=qdir, prefix=f"{key}.{reason}.", suffix=_SUFFIX
+            )
+            os.close(fd)
+            os.replace(self._path(key), target)
+        except OSError:
+            # Quarantine is best-effort: if the move fails (e.g. the
+            # file vanished), the next put overwrites the key anyway.
+            pass
+
+    def _verify(self, key: str, data: bytes) -> bytes | None:
+        """Payload bytes if the framing and checksum hold, else None."""
+        header = len(_MAGIC) + _DIGEST_SIZE
+        if len(data) < header or not data.startswith(_MAGIC):
+            return None
+        blob = data[header:]
+        if data[len(_MAGIC):header] != _checksum(key, blob):
+            return None
+        return blob
+
+    def quarantined(self) -> list[str]:
+        """Files currently sitting in the quarantine directory."""
+        try:
+            return sorted(os.listdir(os.path.join(self.root, _QUARANTINE)))
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------------
     def get(self, key: str) -> CacheEntry | None:
         try:
             with open(self._path(key), "rb") as fh:
-                entry = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+                data = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        blob = self._verify(key, data)
+        if blob is None:
+            self._quarantine(key, "checksum")
+            self.misses += 1
+            return None
+        try:
+            entry = pickle.loads(blob)
+        except (pickle.PickleError, EOFError, AttributeError, ValueError):
+            # Checksummed but undeserializable — e.g. written by an
+            # incompatible library version.  Same treatment.
+            self._quarantine(key, "unpickle")
             self.misses += 1
             return None
         self.hits += 1
@@ -81,17 +155,10 @@ class DiskCache:
             # still serves this process; other processes recompute.
             self.put_errors += 1
             return
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, self._path(key))
+            atomic_write_bytes(self._path(key), encode_entry(key, blob))
         except OSError:
             self.put_errors += 1
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
 
     def clear(self) -> None:
         for f in os.listdir(self.root):
@@ -103,6 +170,7 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.put_errors = 0
+        self.corrupt_evictions = 0
 
     def stats(self) -> dict[str, int]:
         return {
@@ -110,6 +178,7 @@ class DiskCache:
             "hits": self.hits,
             "misses": self.misses,
             "put_errors": self.put_errors,
+            "corrupt_evictions": self.corrupt_evictions,
         }
 
 

@@ -31,7 +31,13 @@ from typing import Sequence
 
 from repro._types import Op
 from repro.core.schedule import Schedule
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    ProcessorFailureError,
+    ScheduleValidationError,
+    SimulationError,
+    StallError,
+)
 from repro.graph.ddg import DependenceGraph, Edge
 from repro.machine.comm import CommModel
 
@@ -41,6 +47,7 @@ __all__ = [
     "Segment",
     "execution_segments",
     "simulate",
+    "validate_program",
 ]
 
 
@@ -83,10 +90,16 @@ class Segment:
 
 @dataclass
 class ExecutionTrace:
-    """Everything that happened in one simulated run."""
+    """Everything that happened in one simulated run.
+
+    ``faults`` lists the :class:`~repro.chaos.faults.FaultEvent`\\ s
+    that fired during the run — always empty on the reliable machine
+    (``fabric=None``).
+    """
 
     schedule: Schedule
     messages: list[Message] = field(default_factory=list)
+    faults: list = field(default_factory=list)
 
     @property
     def makespan(self) -> int:
@@ -94,6 +107,9 @@ class ExecutionTrace:
 
     def message_count(self) -> int:
         return len(self.messages)
+
+    def fault_count(self) -> int:
+        return len(self.faults)
 
     def total_comm_cycles(self) -> int:
         return sum(m.cost for m in self.messages)
@@ -144,6 +160,41 @@ def execution_segments(trace: ExecutionTrace) -> list[Segment]:
     return segments
 
 
+def validate_program(
+    graph: DependenceGraph, order: Sequence[Sequence[Op]]
+) -> dict[Op, int]:
+    """Check a per-processor program at the sim boundary.
+
+    Returns the op -> processor assignment.  Malformed programs raise a
+    structured :class:`~repro.errors.ScheduleValidationError` naming
+    the offending op/processor — duplicated instance, negative
+    iteration, empty processor set — instead of surfacing as a
+    ``KeyError`` deep inside the event loop.  Unknown graph nodes keep
+    raising :class:`~repro.errors.GraphError` via ``graph.node``.
+    Shared by both simulator implementations (:func:`simulate` and
+    :func:`repro.sim.fastpath.evaluate`).
+    """
+    if len(order) < 1:
+        raise ScheduleValidationError(
+            "need at least one processor (program has no processor rows)"
+        )
+    proc_of: dict[Op, int] = {}
+    for j, ops in enumerate(order):
+        for op in ops:
+            if op in proc_of:
+                raise ScheduleValidationError(
+                    f"{op} appears twice in the program "
+                    f"(on P{proc_of[op]} and P{j})"
+                )
+            graph.node(op.node)  # raises GraphError on unknown nodes
+            if op.iteration < 0:
+                raise ScheduleValidationError(
+                    f"negative iteration: {op} on P{j}"
+                )
+            proc_of[op] = j
+    return proc_of
+
+
 def simulate(
     graph: DependenceGraph,
     order: Sequence[Sequence[Op]],
@@ -152,6 +203,8 @@ def simulate(
     use_runtime: bool = True,
     link_capacity: int | None = None,
     channel_fifo: bool = False,
+    fabric=None,
+    watchdog: int | None = None,
 ) -> ExecutionTrace:
     """Run the program on the simulated multiprocessor.
 
@@ -177,20 +230,28 @@ def simulate(
     Our default engine matches messages to consumer instances by tag,
     so overtaking is harmless there; the FIFO mode exists to measure
     what the in-order discipline costs under fluctuating latency.
+
+    ``fabric`` (a :class:`~repro.chaos.fabric.CommFabric`) injects
+    deterministic faults: per-message delay/loss/duplication verdicts,
+    processor stall windows, and fail-stop crashes.  ``None`` (the
+    default) is the perfectly reliable machine and takes exactly the
+    pre-chaos code path.  With a fabric, receives are idempotent
+    (duplicate deliveries of a message are dropped), an op only
+    completes if it finishes at or before its processor's crash cycle,
+    and the drain check classifies an unfinished run: crashes raise
+    :class:`~repro.errors.ProcessorFailureError`, permanently lost
+    messages (or a tripped ``watchdog``) raise
+    :class:`~repro.errors.StallError`, and anything else keeps raising
+    :class:`~repro.errors.DeadlockError`.  All three carry the partial
+    trace and per-head diagnostics.
+
+    ``watchdog`` is a cycle horizon: if the event clock passes it the
+    run is declared silently stalled instead of spinning on.
     """
+    proc_of = validate_program(graph, order)
     processors = len(order)
-    if processors < 1:
-        raise SimulationError("need at least one processor")
     if link_capacity is not None and link_capacity < 1:
         raise SimulationError("link_capacity must be >= 1 (or None)")
-
-    proc_of: dict[Op, int] = {}
-    for j, ops in enumerate(order):
-        for op in ops:
-            if op in proc_of:
-                raise SimulationError(f"{op} appears twice in the program")
-            graph.node(op.node)
-            proc_of[op] = j
 
     # per-op requirements: local predecessor instances / expected messages
     local_preds: dict[Op, list[Op]] = {}
@@ -215,6 +276,18 @@ def simulate(
     busy_until = [0] * processors
     finished: set[Op] = set()
     msgs_arrived: dict[Op, int] = {op: 0 for op in proc_of}
+
+    # chaos bookkeeping (untouched when fabric is None)
+    crash: dict[int, int] = {}
+    halted: dict[int, int] = {}  # proc -> crash cycle it halted at
+    delivered: set[tuple[Op, Op]] = set()  # idempotent receive
+    lost: list[tuple[Op, Op]] = []  # permanently lost messages
+    wakes_posted: set[tuple[int, int]] = set()
+    if fabric is not None:
+        for j in range(processors):
+            c = fabric.crash_cycle(j)
+            if c is not None:
+                crash[j] = c
 
     # event heap: (time, seq, kind, payload); kinds sorted by arrival
     # time only — simultaneous events commute because starting an op
@@ -243,6 +316,22 @@ def simulate(
         if not can_start(op):
             return
         lat = graph.latency(op.node)
+        if fabric is not None:
+            if j in halted:
+                return
+            c = crash.get(j)
+            if c is not None and now + lat > c:
+                # fail-stop: the op would finish after the crash cycle,
+                # so it (and everything behind it) is lost.
+                halted[j] = c
+                fabric.note_fail_stop(j, c, op)
+                return
+            wake = fabric.stall_until(j, now)
+            if wake is not None:
+                if (j, wake) not in wakes_posted:
+                    wakes_posted.add((j, wake))
+                    post(wake, "wake", j)
+                return
         sched.add(op, j, now, lat)
         busy_until[j] = now + lat
         ptr[j] += 1
@@ -252,8 +341,12 @@ def simulate(
         try_start(j, 0)
 
     executed = 0
+    tripped = False
     while events:
         time, _, kind, payload = heapq.heappop(events)
+        if watchdog is not None and time > watchdog:
+            tripped = True
+            break
         if kind == "finish":
             op = payload  # type: ignore[assignment]
             finished.add(op)
@@ -284,20 +377,48 @@ def simulate(
                     link = (j, proc_of[dst])
                     arrive = max(arrive, channel_last.get(link, 0))
                     channel_last[link] = arrive
-                trace.messages.append(
-                    Message(op, dst, j, proc_of[dst], sent, arrive)
-                )
-                post(arrive, "msg", dst)
+                if fabric is None:
+                    trace.messages.append(
+                        Message(op, dst, j, proc_of[dst], sent, arrive)
+                    )
+                    post(arrive, "msg", dst)
+                else:
+                    mp = fabric.plan_message(
+                        edge, op, dst, j, proc_of[dst], sent, arrive
+                    )
+                    if mp.accepted is None:
+                        lost.append((op, dst))
+                        continue
+                    trace.messages.append(
+                        Message(op, dst, j, proc_of[dst], sent, mp.accepted)
+                    )
+                    for at in mp.deliveries:
+                        post(at, "msg", (op, dst))
             try_start(j, time)  # processor freed: start its next op
             # a local successor at another point of j's order starts
             # when the pointer reaches it; a local successor at the
             # current head is handled by the try_start above.
-        else:  # msg
-            dst = payload  # type: ignore[assignment]
-            msgs_arrived[dst] += 1
-            try_start(proc_of[dst], time)
+        elif kind == "msg":
+            if fabric is None:
+                dst = payload  # type: ignore[assignment]
+                msgs_arrived[dst] += 1
+                try_start(proc_of[dst], time)
+            else:
+                src, dst = payload  # type: ignore[misc]
+                if (src, dst) in delivered:
+                    # duplicate delivery — idempotent receive drops it
+                    fabric.note_dup_dropped(src, dst, time, proc_of[dst])
+                else:
+                    delivered.add((src, dst))
+                    msgs_arrived[dst] += 1
+                    try_start(proc_of[dst], time)
+        else:  # wake: a stall window ended
+            try_start(payload, time)  # type: ignore[arg-type]
 
-    if executed != len(proc_of):
+    if fabric is not None:
+        trace.faults = list(fabric.events)
+
+    if tripped or executed != len(proc_of):
         details = []
         stuck_count = 0
         for j in range(processors):
@@ -307,6 +428,8 @@ def simulate(
             op = order[j][ptr[j]]
             missing = [p for p in local_preds[op] if p not in finished]
             why = []
+            if j in halted:
+                why.append(f"processor fail-stopped at cycle {halted[j]}")
             if missing:
                 why.append(
                     "waiting on local predecessor(s) "
@@ -327,10 +450,30 @@ def simulate(
             if stuck_count > 5
             else ""
         )
-        err = DeadlockError(
-            f"simulation deadlocked with {len(proc_of) - executed} ops "
-            f"unexecuted:\n  {shown}{more}"
-        )
+        unexecuted = len(proc_of) - executed
+        if halted:
+            err: SimulationError = ProcessorFailureError(
+                f"processor failure left {unexecuted} ops unexecuted "
+                f"(crashed: {sorted(halted)}):\n  {shown}{more}",
+                failed=halted,
+                executed=finished,
+            )
+        elif lost or tripped:
+            cause = (
+                f"watchdog horizon {watchdog} cycles exceeded"
+                if tripped
+                else f"{len(lost)} message(s) permanently lost"
+            )
+            err = StallError(
+                f"simulation stalled ({cause}) with {unexecuted} ops "
+                f"unexecuted:\n  {shown}{more}"
+            )
+            err.lost_messages = tuple(lost)
+        else:
+            err = DeadlockError(
+                f"simulation deadlocked with {unexecuted} ops "
+                f"unexecuted:\n  {shown}{more}"
+            )
         # The partial trace (everything that did execute, every message
         # that did fly) rides on the exception so callers can still
         # export segments / a Chrome trace of the run up to the hang.

@@ -29,10 +29,10 @@ from typing import Sequence
 
 from repro._types import Op
 from repro.core.schedule import Schedule
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError
 from repro.graph.ddg import DependenceGraph
 from repro.machine.comm import CommModel
-from repro.sim.engine import ExecutionTrace, Message
+from repro.sim.engine import ExecutionTrace, Message, validate_program
 
 __all__ = ["evaluate", "evaluate_trace"]
 
@@ -82,21 +82,8 @@ def evaluate(
     (live-in values, or nodes outside the scheduled subset) are
     satisfied at time 0.
     """
+    proc_of = validate_program(graph, order)
     processors = len(order)
-    if processors < 1:
-        raise SimulationError("need at least one processor")
-
-    proc_of: dict[Op, int] = {}
-    pos_of: dict[Op, int] = {}
-    for j, ops in enumerate(order):
-        for idx, op in enumerate(ops):
-            if op in proc_of:
-                raise SimulationError(f"{op} appears twice in the program")
-            graph.node(op.node)  # raises GraphError on unknown nodes
-            if op.iteration < 0:
-                raise SimulationError(f"negative iteration: {op}")
-            proc_of[op] = j
-            pos_of[op] = idx
 
     # remaining unplaced predecessors *within the program* per op
     remaining: dict[Op, int] = {}

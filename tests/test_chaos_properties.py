@@ -1,0 +1,162 @@
+"""Property-based chaos tests: random DDGs x random fault plans.
+
+The fuzzer drives arbitrary generated loops through the full
+pipeline -> simulator path under arbitrary seeded fault plans and pins
+the two contracts the chaos subsystem promises:
+
+(a) a zero-fault chaos run is *bit-identical* to the closed-form
+    fastpath (and therefore to the plain engine, which test_properties
+    already ties to the fastpath);
+(b) every lossy run either completes with a correct,
+    dependence-respecting trace, or raises a structured error carrying
+    a partial trace — and, thanks to the watchdog, never hangs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    DelayJitter,
+    FaultPlan,
+    FaultyFabric,
+    MessageDuplication,
+    MessageLoss,
+    run_resilient,
+)
+from repro.core.scheduler import schedule_loop
+from repro.errors import SimulationError
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+from repro.sim.engine import simulate
+from repro.sim.fastpath import evaluate
+
+from tests.conftest import loop_graphs
+
+ITER = 6
+
+
+def lossy_plans(seeds=st.integers(0, 10_000)):
+    """Plans mixing jitter, loss and duplication with random knobs."""
+    return st.builds(
+        lambda seed, jit, loss, retx, rto, dup: FaultPlan(
+            seed,
+            (
+                DelayJitter(max_extra=jit, prob=0.7),
+                MessageLoss(prob=loss, max_retransmits=retx, rto=rto),
+                MessageDuplication(prob=dup, copies=1),
+            ),
+        ),
+        seeds,
+        st.integers(0, 3),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2),
+        st.integers(1, 4),
+        st.floats(0.0, 0.5),
+    )
+
+
+def check_dependences(graph, program, schedule):
+    """Every dependence edge is respected by the executed trace."""
+    present = {op for row in program for op in row}
+    by_node = {}
+    for op in present:
+        by_node.setdefault(op.node, {})[op.iteration] = op
+    for edge in graph.edges:
+        for dst in by_node.get(edge.dst, {}).values():
+            src = by_node.get(edge.src, {}).get(dst.iteration - edge.distance)
+            if src is None:
+                continue  # live-in: satisfied at time 0
+            assert schedule.start(dst) >= schedule.finish(src), (
+                f"{edge.src}->{edge.dst} violated at iteration "
+                f"{dst.iteration}"
+            )
+
+
+class TestZeroFaultDifferential:
+    @given(loop_graphs(max_nodes=6), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_plan_is_bit_identical_to_fastpath(self, g, seed):
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m)
+        prog = s.program(ITER)
+        fast = evaluate(g, prog, m.comm, use_runtime=True)
+        chaos = simulate(
+            g,
+            prog,
+            m.comm,
+            use_runtime=True,
+            fabric=FaultyFabric(FaultPlan(seed)),
+        )
+        assert chaos.schedule.makespan() == fast.makespan()
+        for op in fast.ops():
+            assert chaos.schedule.start(op) == fast.start(op)
+        assert chaos.faults == []
+
+
+class TestLossyRunsNeverHang:
+    @given(loop_graphs(max_nodes=6), lossy_plans())
+    @settings(max_examples=40, deadline=None)
+    def test_complete_correctly_or_fail_structurally(self, g, plan):
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m)
+        prog = s.program(ITER)
+        fault_free = evaluate(g, prog, m.comm, use_runtime=True).makespan()
+        watchdog = 50 * max(1, fault_free)
+        try:
+            trace = simulate(
+                g,
+                prog,
+                m.comm,
+                use_runtime=True,
+                fabric=FaultyFabric(plan),
+                watchdog=watchdog,
+            )
+        except SimulationError as err:
+            # structured failure: typed, with the partial trace attached
+            assert err.trace is not None
+            assert err.trace.schedule.makespan() <= watchdog + 1
+            return
+        # completed: every op ran, no dependence was violated, and
+        # faults can only ever delay the schedule, never speed it up
+        assert len(list(trace.schedule.placements())) == sum(
+            len(r) for r in prog
+        )
+        check_dependences(g, prog, trace.schedule)
+        assert trace.schedule.makespan() >= fault_free
+
+    @given(loop_graphs(max_nodes=5), lossy_plans())
+    @settings(max_examples=25, deadline=None)
+    def test_fault_sequence_replays_identically(self, g, plan):
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m)
+        prog = s.program(ITER)
+
+        def run():
+            fabric = FaultyFabric(plan)
+            try:
+                t = simulate(
+                    g,
+                    prog,
+                    m.comm,
+                    use_runtime=True,
+                    fabric=fabric,
+                    watchdog=50 * ITER * max(1, g.total_latency()),
+                )
+                return ("ok", t.schedule.makespan(), tuple(t.faults))
+            except SimulationError as err:
+                return (type(err).__name__, str(err), tuple(fabric.events))
+
+        assert run() == run()
+
+
+class TestResilientExecutor:
+    @given(loop_graphs(max_nodes=5), lossy_plans())
+    @settings(max_examples=25, deadline=None)
+    def test_never_raises_for_in_model_faults(self, g, plan):
+        m = Machine(3, UniformComm(2))
+        s = schedule_loop(g, m)
+        r = run_resilient(s, ITER, plan)
+        assert r.outcome in ("ok", "recovered", "stalled", "deadlocked")
+        assert r.completed == (r.makespan is not None)
+        if not r.completed:
+            assert r.error

@@ -164,3 +164,52 @@ class TestCampaignCommand:
         self._run(tmp_path, "--json", str(out))
         data = json.loads(out.read_text())
         assert "cells" in data and "pipeline_report" in data
+
+
+class TestChaosCommand:
+    def test_chaos_prints_survival_table(self, tmp_path, capsys):
+        argv = [
+            "chaos",
+            "fig7",
+            "--seeds",
+            "1",
+            "--iterations",
+            "12",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "chaos matrix" in out
+        assert "survival" in out
+        assert "failstop" in out
+        assert "cache self-heal" in out
+        assert "HEALED" in out
+
+    def test_chaos_json_payload(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "chaos.json"
+        argv = [
+            "chaos",
+            "fig7",
+            "--seeds",
+            "1",
+            "--iterations",
+            "12",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--json",
+            str(out_file),
+        ]
+        assert main(argv) == 0
+        data = json.loads(out_file.read_text())
+        assert data["workload"] == "fig7"
+        assert set(data["summary"]) == {
+            "none", "jitter", "loss", "dup", "stall", "failstop", "storm",
+        }
+        assert data["cache_selfheal"]["healed"] is True
+
+    def test_chaos_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["chaos", "nope", "--iterations", "8"])

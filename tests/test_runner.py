@@ -19,6 +19,7 @@ from repro.runner import (
     Cell,
     DiskCache,
     TieredCache,
+    backoff_delay,
     execute_cell,
     parse_shard,
     run_campaign,
@@ -336,3 +337,73 @@ class TestObservability:
 
         r = run_campaign(table1_cells([1], iterations=5), workers=1)
         json.dumps(r.to_dict())
+
+
+# ----------------------------------------------------------------------
+# retry backoff
+# ----------------------------------------------------------------------
+class TestRetryBackoff:
+    def test_backoff_delay_is_deterministic(self):
+        a = backoff_delay(0.25, 2, [1, 4, 7])
+        assert a == backoff_delay(0.25, 2, [1, 4, 7])
+        # pending set and attempt number both feed the jitter
+        assert a != backoff_delay(0.25, 2, [1, 4, 8])
+        assert a != backoff_delay(0.25, 3, [1, 4, 7])
+
+    def test_backoff_grows_exponentially_with_jitter(self):
+        for attempt in (2, 3, 4):
+            nominal = 0.2 * 2 ** (attempt - 2)
+            d = backoff_delay(0.2, attempt, [0])
+            assert 0.5 * nominal <= d < 1.5 * nominal
+
+    def test_backoff_capped(self):
+        assert backoff_delay(100.0, 6, [0], cap=8.0) == 8.0
+
+    def test_retry_waves_sleep_and_record(self, monkeypatch):
+        import repro.runner.core as core
+
+        slept = []
+        monkeypatch.setattr(core.time, "sleep", slept.append)
+        r = run_campaign(
+            [Cell.make("_selftest", action="fail")],
+            workers=1,
+            retries=2,
+            retry_backoff=0.25,
+        )
+        # two retry waves -> two deterministic sleeps, recorded verbatim
+        assert len(slept) == 2
+        assert list(r.backoffs) == slept
+        assert slept == [
+            backoff_delay(0.25, 2, [0]),
+            backoff_delay(0.25, 3, [0]),
+        ]
+        assert r.to_dict()["stats"]["retry_backoffs"] == [
+            round(b, 6) for b in slept
+        ]
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        import repro.runner.core as core
+
+        def no_sleep(_):
+            raise AssertionError("retry_backoff=0 must not sleep")
+
+        monkeypatch.setattr(core.time, "sleep", no_sleep)
+        r = run_campaign(
+            [Cell.make("_selftest", action="fail")],
+            workers=1,
+            retries=2,
+            retry_backoff=0.0,
+        )
+        assert r.backoffs == ()
+
+    def test_first_attempt_never_waits(self, monkeypatch):
+        import repro.runner.core as core
+
+        slept = []
+        monkeypatch.setattr(core.time, "sleep", slept.append)
+        r = run_campaign([ok_cell(0)], workers=1, retry_backoff=5.0)
+        assert r.ok and slept == []
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ReproError, match="retry_backoff"):
+            run_campaign([ok_cell(0)], workers=1, retry_backoff=-1.0)
