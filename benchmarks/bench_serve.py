@@ -1,0 +1,207 @@
+"""Load benchmark for the serve daemon (``repro-mimd serve``).
+
+Drives a real daemon (TCP, keep-alive connections) with a large burst
+of concurrent compile requests where a majority share chain keys with
+other in-flight requests, and reports client-observed latency
+percentiles and throughput.  The run *asserts* the dedup contract on
+the way out: every request succeeds, responses for the same program
+are bit-identical, and the pipeline executed exactly once per unique
+chain key — N identical concurrent requests, one compilation.
+
+Run directly (tier-1 pytest does not collect this; the CI
+``serve-smoke`` job runs it and ratchets p95 against the checked-in
+baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --requests 10000 --unique 64 --connections 200 \
+        --out BENCH_serve.json
+
+    PYTHONPATH=src python benchmarks/ratchet.py \
+        --baseline BENCH_serve.json --current BENCH_serve.json \
+        --metric latency_seconds.p95 --max-regression 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+
+
+def generate_source(i: int) -> str:
+    """The ``i``-th distinct loop program of the benchmark corpus.
+
+    Chain loops with varying length and a varying mix of
+    loop-carried and intra-iteration dependences — distinct dependence
+    graphs, therefore distinct chain keys, without hand-writing a
+    corpus.
+    """
+    n = 3 + (i % 5)
+    # the input array carries the program index, so every program is
+    # textually distinct even when two share a dependence shape — the
+    # chain key is seeded from the source text.
+    lines = ["FOR I = 1 TO N", f"A0: A0[I] = A0[I-1] + X{i}[I]"]
+    for j in range(1, n):
+        if (i + j) % 3 == 0:
+            lines.append(f"A{j}: A{j}[I] = A{j}[I-1] + A{j-1}[I]")
+        else:
+            lines.append(f"A{j}: A{j}[I] = A{j-1}[I] + X{i}[I]")
+    lines.append("ENDFOR")
+    return "\n".join(lines)
+
+
+def build_payloads(requests: int, unique: int, iterations: int) -> list[dict]:
+    """``requests`` payloads over ``unique`` programs, shuffled.
+
+    Round-robin assignment then a seeded shuffle: every program
+    appears ~requests/unique times, so the duplicate-key fraction is
+    ``1 - unique/requests`` (>= 50% whenever requests >= 2*unique).
+    """
+    sources = [generate_source(i) for i in range(unique)]
+    payloads = [
+        {
+            "source": sources[i % unique],
+            "iterations": iterations,
+            "client": "bench",
+        }
+        for i in range(requests)
+    ]
+    random.Random(1990).shuffle(payloads)
+    return payloads
+
+
+async def drive(
+    host: str, port: int, payloads: list[dict], connections: int
+) -> list[tuple[float, int, dict]]:
+    """All requests concurrently over a pool of keep-alive connections.
+
+    Returns ``(latency_seconds, status, body)`` per request, in
+    completion order.
+    """
+    from repro.serve import AsyncConnection
+
+    pool: asyncio.Queue = asyncio.Queue()
+    conns = []
+    for _ in range(min(connections, len(payloads))):
+        conn = AsyncConnection(host, port)
+        await conn.connect()
+        conns.append(conn)
+        pool.put_nowait(conn)
+
+    async def one(payload: dict) -> tuple[float, int, dict]:
+        conn = await pool.get()
+        try:
+            t0 = time.perf_counter()
+            status, body = await conn.compile(payload)
+            return time.perf_counter() - t0, status, body
+        finally:
+            pool.put_nowait(conn)
+
+    try:
+        return await asyncio.gather(*[one(p) for p in payloads])
+    finally:
+        for conn in conns:
+            await conn.aclose()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--requests", type=int, default=10000)
+    parser.add_argument("--unique", type=int, default=64)
+    parser.add_argument("--connections", type=int, default=200)
+    parser.add_argument("--iterations", type=int, default=40)
+    parser.add_argument("--out", default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+    if args.requests < 2 * args.unique:
+        parser.error("--requests must be >= 2 * --unique (>=50% dup keys)")
+
+    from repro.obs.metrics import summarize
+    from repro.serve import ServeConfig, request_json, start_in_thread
+
+    payloads = build_payloads(args.requests, args.unique, args.iterations)
+    dup_fraction = 1 - args.unique / args.requests
+
+    handle = start_in_thread(ServeConfig(port=0))
+    try:
+        t0 = time.perf_counter()
+        results = asyncio.run(
+            drive(handle.host, handle.port, payloads, args.connections)
+        )
+        wall = time.perf_counter() - t0
+        _, stats = request_json(
+            handle.host, handle.port, path="/stats", method="GET"
+        )
+    finally:
+        handle.stop()
+
+    failures = [(s, b) for _, s, b in results if s != 200]
+    assert not failures, f"{len(failures)} failed requests: {failures[:3]}"
+
+    # Bit-identical responses per program: one distinct result payload
+    # per unique chain key, however the request was answered.
+    by_key: dict[str, set[str]] = {}
+    for _, _, body in results:
+        result = body["result"]
+        by_key.setdefault(result["key"], set()).add(
+            json.dumps(result, sort_keys=True)
+        )
+    assert len(by_key) == args.unique, (
+        f"expected {args.unique} distinct chain keys, got {len(by_key)}"
+    )
+    divergent = {k: len(v) for k, v in by_key.items() if len(v) != 1}
+    assert not divergent, f"non-identical responses per key: {divergent}"
+
+    counters = stats["metrics"]["counters"]
+    runs = counters["serve.pipeline_runs"]
+    assert runs == args.unique, (
+        f"dedup broken: {runs} pipeline runs for {args.unique} unique "
+        "programs"
+    )
+    assert counters["serve.requests"] == args.requests
+
+    latencies = sorted(lat for lat, _, _ in results)
+    latency = summarize(latencies)
+    payload = {
+        "benchmark": "serve_load",
+        "config": {
+            "requests": args.requests,
+            "unique": args.unique,
+            "duplicate_fraction": round(dup_fraction, 4),
+            "connections": args.connections,
+            "iterations": args.iterations,
+        },
+        "latency_seconds": {k: round(v, 6) for k, v in latency.items()},
+        "throughput_rps": round(args.requests / wall, 1),
+        "wall_seconds": round(wall, 3),
+        "pipeline_runs": runs,
+        "server_counters": counters,
+        "server_latency_seconds": stats["metrics"]["histograms"].get(
+            "serve.latency_seconds", {}
+        ),
+    }
+    print(
+        f"{args.requests} requests ({dup_fraction:.0%} duplicate keys) "
+        f"over {args.connections} connections: "
+        f"p50 {latency['p50'] * 1e3:.2f}ms  "
+        f"p95 {latency['p95'] * 1e3:.2f}ms  "
+        f"p99 {latency['p99'] * 1e3:.2f}ms  "
+        f"{payload['throughput_rps']:.0f} req/s"
+    )
+    print(
+        f"pipeline runs: {runs} (= unique programs); "
+        f"coalesced waits: {counters.get('serve.singleflight_wait', 0)}; "
+        f"warm hits: {counters.get('serve.cache_hit', 0)}"
+    )
+    if args.out:
+        from repro.report import to_json
+
+        to_json(payload, args.out)
+        print(f"(wrote {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Performance ratchet: fail CI when a metric regresses past a bound.
+
+Compares a freshly measured benchmark JSON against a checked-in
+baseline and exits non-zero when any watched metric got worse by more
+than the allowed fraction.  Lower is better for every watched metric
+(latencies); pass ``--higher-is-better`` for throughput-style metrics.
+
+Used by the ``serve-smoke`` CI job::
+
+    PYTHONPATH=src python benchmarks/ratchet.py \
+        --baseline BENCH_serve.json --current fresh.json \
+        --metric latency_seconds.p95 --max-regression 0.25
+
+``--metric`` is a dotted path into the JSON documents and may repeat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+def lookup(doc: Any, path: str) -> float:
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise SystemExit(f"ratchet: metric {path!r} not found in document")
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise SystemExit(f"ratchet: metric {path!r} is not a number: {node!r}")
+    return float(node)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline", required=True, metavar="PATH")
+    parser.add_argument("--current", required=True, metavar="PATH")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        required=True,
+        metavar="DOTTED.PATH",
+        help="dotted path into both JSON docs; may repeat",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed fractional regression (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--higher-is-better",
+        action="store_true",
+        help="treat the metrics as throughput-style (regression = drop)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    failed = False
+    for path in args.metric:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        if base == 0:
+            ratio = 0.0 if cur == 0 else float("inf")
+        elif args.higher_is_better:
+            ratio = (base - cur) / base
+        else:
+            ratio = (cur - base) / base
+        verdict = "OK" if ratio <= args.max_regression else "REGRESSED"
+        failed = failed or verdict == "REGRESSED"
+        direction = "drop" if args.higher_is_better else "increase"
+        print(
+            f"ratchet {path}: baseline {base:g} -> current {cur:g} "
+            f"({ratio:+.1%} {direction}, allowed "
+            f"{args.max_regression:.0%}) {verdict}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,9 +37,11 @@ from repro.chaos.faults import (
     FaultEvent,
     FaultPlan,
     FaultSpec,
+    InjectedWorkerCrash,
     MessageDuplication,
     MessageLoss,
     ProcessorStall,
+    WorkerCrash,
 )
 from repro.chaos.recovery import ChaosRunResult, run_resilient
 
@@ -54,11 +56,13 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultyFabric",
+    "InjectedWorkerCrash",
     "MessageDuplication",
     "MessageLoss",
     "MessagePlan",
     "ProcessorStall",
     "SCENARIOS",
+    "WorkerCrash",
     "corrupt_cache_dir",
     "run_cache_selfheal",
     "run_chaos_matrix",

@@ -31,7 +31,13 @@ Message-fault semantics (consumed by
 * ``CacheFaults`` — each :class:`~repro.runner.diskcache.DiskCache`
   write is corrupted (truncate / bit-flip / stale-key payload swap)
   with probability ``prob`` (consumed by
-  :class:`~repro.chaos.cache.ChaosDiskCache`).
+  :class:`~repro.chaos.cache.ChaosDiskCache`);
+* ``WorkerCrash`` — a serve-daemon compile worker dies mid-request
+  (consumed by :class:`~repro.serve.service.CompileService`): the
+  decision is keyed by (request chain key, attempt number), so the
+  same request crashes on the same attempts in every run, and the
+  service must re-queue the accepted work — the re-queued response is
+  bit-identical to the fault-free one.
 """
 
 from __future__ import annotations
@@ -48,10 +54,21 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",
+    "InjectedWorkerCrash",
     "MessageDuplication",
     "MessageLoss",
     "ProcessorStall",
+    "WorkerCrash",
 ]
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised inside a compile worker to simulate its death mid-request.
+
+    The serve daemon treats it like a killed worker: the request's
+    work is re-queued (never dropped, never surfaced to the client as
+    an error) and the crash is counted in ``serve.worker_crashes``.
+    """
 
 
 @dataclass(frozen=True)
@@ -192,6 +209,28 @@ class CacheFaults(FaultSpec):
 
 
 @dataclass(frozen=True)
+class WorkerCrash(FaultSpec):
+    """Kill a serve compile worker mid-request.
+
+    Attempt ``a`` (1-based) of a request crashes when ``a <=
+    max_crashes`` and the keyed draw for (chain key, attempt) lands
+    under ``prob`` — with the defaults every request's first attempt
+    dies and the retry succeeds, the worst case short of a permanent
+    failure.
+    """
+
+    prob: float = 1.0
+    max_crashes: int = 1
+
+    def __post_init__(self) -> None:
+        _check_prob(self.prob, "WorkerCrash")
+        if self.max_crashes < 1:
+            raise FaultInjectionError(
+                f"WorkerCrash max_crashes must be >= 1, got {self.max_crashes}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded, deterministic set of faults to inject into one run."""
 
@@ -252,6 +291,23 @@ class FaultPlan:
     @property
     def cache_faults(self) -> list[CacheFaults]:
         return self.of_type(CacheFaults)
+
+    @property
+    def worker_crashes(self) -> list[WorkerCrash]:
+        return self.of_type(WorkerCrash)
+
+    def should_crash_worker(self, key: str, attempt: int) -> bool:
+        """Does attempt ``attempt`` (1-based) of request ``key`` die?
+
+        Deterministic in (seed, key, attempt): replaying the same
+        request against the same plan crashes the same attempts, so
+        the requeue tests can assert exact crash/requeue counts.
+        """
+        return any(
+            attempt <= spec.max_crashes
+            and self.uniform("worker_crash", key, attempt) < spec.prob
+            for spec in self.worker_crashes
+        )
 
     @property
     def is_null(self) -> bool:

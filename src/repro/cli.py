@@ -16,6 +16,7 @@ Usage::
     repro-mimd campaign table1 --workers 4   # sharded parallel campaign
     repro-mimd chaos fig7 --seeds 1,2    # fault-injection matrix + self-heal
     repro-mimd profile table1            # run under the tracer, print profile
+    repro-mimd serve --port 8642         # compilation-as-a-service daemon
     repro-mimd all           # everything above
 
 ``python -m repro.cli <experiment>`` works identically.
@@ -35,9 +36,21 @@ shard of the campaign, ``--cache-dir`` shares scheduler results on
 disk across workers and runs, and per-cell observability is written
 to ``BENCH_campaign.json``.
 
+``serve`` starts the asyncio compile daemon (DESIGN.md §11): POST a
+loop program to ``/compile`` and get the schedule + speedup back;
+identical concurrent requests coalesce onto one compilation and warm
+requests are answered straight from the cache.  ``--port 0`` picks an
+ephemeral port (printed on stdout).
+
 Every subcommand supports ``--json PATH``: the experiment payload is
 written together with aggregated pipeline telemetry (per-pass wall
 time, cache hits, warnings) under the ``pipeline_report`` key.
+
+Shutdown is graceful everywhere: SIGTERM/SIGINT during ``serve`` or
+``campaign`` drains accepted work where possible and always flushes
+the pending ``--json`` / ``--trace-out`` artifacts atomically before
+exiting 143/130, so an interrupted run leaves valid (marked
+``interrupted``) JSON instead of truncated files.
 """
 
 from __future__ import annotations
@@ -68,6 +81,20 @@ from repro.report import format_measurement, format_table1, pattern_chart
 from repro.workloads import fig7 as fig7_workload
 
 __all__ = ["main"]
+
+
+class _Terminated(BaseException):
+    """SIGTERM/SIGINT arrived: unwind to main() for the artifact flush.
+
+    Derives from BaseException so no experiment code accidentally
+    swallows it; ``payload`` optionally carries a partial result the
+    interrupted subcommand wants included in the flushed ``--json``.
+    """
+
+    def __init__(self, signum: int, payload: Any = None) -> None:
+        super().__init__(f"terminated by signal {signum}")
+        self.signum = signum
+        self.payload = payload
 
 
 def _cmd_fig1(args: argparse.Namespace):
@@ -353,7 +380,7 @@ def _cmd_campaign(args: argparse.Namespace):
 
     campaign = run_campaign(
         cells,
-        workers=args.workers,
+        workers=args.workers or 1,
         cache_dir=args.cache_dir,
         cell_timeout=args.cell_timeout,
         retries=args.retries,
@@ -423,6 +450,64 @@ def _cmd_chaos(args: argparse.Namespace):
     return payload
 
 
+def _cmd_serve(args: argparse.Namespace):
+    """Run the compile daemon until SIGTERM/SIGINT, then drain + flush."""
+    import asyncio
+    import signal as _signal
+
+    from repro.serve import ServeConfig, ServeServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        workers=args.workers,
+    )
+    server = ServeServer(config=config)
+    caught: dict[str, int] = {}
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stopped = asyncio.Event()
+
+        def on_signal(signum: int) -> None:
+            caught.setdefault("signal", signum)
+            stopped.set()
+
+        installed: list[int] = []
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, on_signal, sig)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platform without support
+        try:
+            await server.start()
+            caught["port"] = server.port  # resolved (for --port 0)
+            print(f"serving on {server.host}:{server.port}", flush=True)
+            await stopped.wait()
+            inflight = len(server.service._flights)
+            print(
+                f"shutting down: draining {inflight} in-flight "
+                "request(s)",
+                flush=True,
+            )
+            await server.aclose()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+
+    asyncio.run(run())
+    payload = {
+        "host": server.host,
+        "port": caught.get("port", config.port),
+        "stats": server.service.stats(),
+    }
+    if "signal" in caught:
+        raise _Terminated(caught["signal"], payload=payload)
+    return payload
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig1": _cmd_fig1,
     "fig3": _cmd_fig3,
@@ -472,11 +557,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all", "schedule", "campaign", "chaos", "profile"],
+        choices=[
+            *_COMMANDS,
+            "all",
+            "schedule",
+            "campaign",
+            "chaos",
+            "profile",
+            "serve",
+        ],
         help="which artifact to regenerate, 'schedule' for a file, "
         "'stages' for per-pass pipeline timings, 'campaign' for the "
         "sharded parallel runner, 'chaos' for the fault-injection "
-        "matrix, or 'profile' to trace a subcommand",
+        "matrix, 'profile' to trace a subcommand, or 'serve' for the "
+        "compile daemon",
     )
     parser.add_argument(
         "file",
@@ -526,8 +620,9 @@ def main(argv: list[str] | None = None) -> int:
     campaign_opts.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="worker processes for 'campaign' (default 1: serial)",
+        default=None,
+        help="worker processes for 'campaign' (default 1: serial) / "
+        "compile worker threads for 'serve' (default: pool-sized)",
     )
     campaign_opts.add_argument(
         "--shard",
@@ -574,6 +669,26 @@ def main(argv: list[str] | None = None) -> int:
         help="where 'campaign' writes per-cell observability "
         "(default BENCH_campaign.json)",
     )
+    serve_opts = parser.add_argument_group("serve options")
+    serve_opts.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    serve_opts.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port for 'serve'; 0 picks an ephemeral port, "
+        "printed on stdout (default 8642)",
+    )
+    serve_opts.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="max distinct in-flight compilations before 'serve' "
+        "answers 503 at admission (default 256)",
+    )
     args = parser.parse_args(argv)
     from repro.obs import (
         NULL_TRACER,
@@ -599,27 +714,60 @@ def main(argv: list[str] | None = None) -> int:
     tracing = profiling or bool(args.trace_out)
     tracer = Tracer() if tracing else NULL_TRACER
     prev_registry = set_registry(MetricsRegistry()) if tracing else None
+
+    # Graceful shutdown: SIGTERM/SIGINT unwind to this frame as
+    # _Terminated so the --json/--trace-out artifacts below are still
+    # flushed (atomically) before exiting 128+signum.  The serve
+    # subcommand overrides these with asyncio-native handlers while
+    # its loop runs, draining in-flight requests first.
+    import signal as _signal
+    import threading
+
+    def _on_signal(signum: int, frame) -> None:
+        raise _Terminated(signum)
+
+    previous_handlers: list[tuple[int, Any]] = []
+    if threading.current_thread() is threading.main_thread():
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            previous_handlers.append((sig, _signal.signal(sig, _on_signal)))
+
+    payload: Any = None
+    exit_code = 0
     try:
         with use_tracer(tracer), collect_reports() as reports:
-            with tracer.span(f"repro-mimd {args.experiment}", "cli"):
-                if args.experiment == "schedule":
-                    if not args.file:
-                        parser.error("'schedule' needs a loop file")
-                    payload = _cmd_schedule(args)
-                elif args.experiment == "campaign":
-                    payload = _cmd_campaign(args)
-                elif args.experiment == "chaos":
-                    payload = _cmd_chaos(args)
-                elif args.experiment == "all":
-                    payload = {"experiments": {}}
-                    for name, fn in _COMMANDS.items():
-                        print(f"\n=== {name} " + "=" * (60 - len(name)))
-                        with tracer.span(name, "experiment"):
-                            payload["experiments"][name] = fn(args)
-                else:
-                    payload = _COMMANDS[args.experiment](args)
+            try:
+                with tracer.span(f"repro-mimd {args.experiment}", "cli"):
+                    if args.experiment == "schedule":
+                        if not args.file:
+                            parser.error("'schedule' needs a loop file")
+                        payload = _cmd_schedule(args)
+                    elif args.experiment == "campaign":
+                        payload = _cmd_campaign(args)
+                    elif args.experiment == "chaos":
+                        payload = _cmd_chaos(args)
+                    elif args.experiment == "serve":
+                        payload = _cmd_serve(args)
+                    elif args.experiment == "all":
+                        payload = {"experiments": {}}
+                        for name, fn in _COMMANDS.items():
+                            print(f"\n=== {name} " + "=" * (60 - len(name)))
+                            with tracer.span(name, "experiment"):
+                                payload["experiments"][name] = fn(args)
+                    else:
+                        payload = _COMMANDS[args.experiment](args)
+            except (_Terminated, KeyboardInterrupt) as exc:
+                signum = getattr(exc, "signum", _signal.SIGINT)
+                partial = getattr(exc, "payload", None)
+                payload = dict(partial) if isinstance(partial, dict) else {}
+                payload.update(interrupted=True, signal=int(signum))
+                exit_code = 128 + int(signum)
+                print(
+                    f"interrupted by signal {int(signum)}; "
+                    "flushing artifacts",
+                    flush=True,
+                )
             _export(args, payload, reports)
-            if profiling:
+            if profiling and not exit_code:
                 print("\nprofile (spans by category:name, times in ms):")
                 print(text_profile(tracer.finished()))
                 snap = registry().snapshot()
@@ -633,7 +781,9 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if prev_registry is not None:
             set_registry(prev_registry)
-    return 0
+        for sig, handler in previous_handlers:
+            _signal.signal(sig, handler)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

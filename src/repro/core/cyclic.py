@@ -290,10 +290,11 @@ def schedule_cyclic(
             try:
                 # a window pair can match spuriously when some op's
                 # starts skip both windows (e.g. a long-latency node
-                # placed out of time order); the tiling check exposes
-                # that, and the candidate is rejected rather than
-                # accepted or fatal.
-                found.check_coverage()
+                # placed out of time order, or a node whose instances
+                # all lag beyond the verified segment); the tiling
+                # check exposes that, and the candidate is rejected
+                # rather than accepted or fatal.
+                found.check_coverage(graph.node_names())
             except SchedulingError:
                 rejected.add((found.start, found.period, found.iter_shift))
                 continue

@@ -132,7 +132,9 @@ class Pattern:
             raise SchedulingError(f"node {node!r} missing from pattern kernel")
         return its[0], its[-1] + 1
 
-    def check_coverage(self) -> None:
+    def check_coverage(
+        self, expected_nodes: Sequence[str] | None = None
+    ) -> None:
         """Verify prelude + repeated kernel tile all instances exactly once.
 
         Repetition ``r`` of the kernel executes iterations
@@ -146,9 +148,24 @@ class Pattern:
         placement is append-only but not globally time-monotone per
         node, so a kernel can legitimately contain, say, iterations
         {9, 11..53, 55}.  Raises :class:`SchedulingError` otherwise.
+
+        ``expected_nodes`` is the full node set the kernel must cover.
+        Without it a node can escape every check: when all of a node's
+        placements lie *beyond* the verified segment (its instances
+        lagged in the ready queue while the rest of the graph raced
+        ahead), it appears in neither prelude nor kernel, the two
+        windows match vacuously, and expansion would silently drop the
+        node from the program.
         """
         d = self.iter_shift
         nodes = self.node_names()
+        if expected_nodes is not None:
+            missing = sorted(set(expected_nodes) - set(nodes))
+            if missing:
+                raise SchedulingError(
+                    f"kernel is missing node(s) {missing}: the matched "
+                    "windows predate these nodes' first placements"
+                )
         prelude_by_node: dict[str, list[int]] = {n: [] for n in nodes}
         for p in self.prelude:
             if p.op.node not in prelude_by_node:

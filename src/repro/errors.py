@@ -136,3 +136,16 @@ class CampaignError(ReproError):
     lists the failed cells.  The campaign runner itself never raises
     this — it returns a partial result with ``failed_cells`` set.
     """
+
+
+class ServeError(ReproError):
+    """A compile-service request is malformed (missing source/workload,
+    bad parameter types, unknown workload name).  Mapped to an HTTP
+    400 by the serve daemon."""
+
+
+class AdmissionError(ServeError):
+    """The serve daemon refused a request at admission: the pending
+    compile queue is full.  Mapped to HTTP 503; the client should
+    retry after a backoff — accepted work is never dropped, but work
+    is only accepted while there is queue room to finish it."""

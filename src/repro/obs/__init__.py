@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    labeled,
     percentile,
     registry,
     set_registry,
@@ -66,6 +67,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "current_tracer",
+    "labeled",
     "percentile",
     "registry",
     "replant",

@@ -11,20 +11,21 @@ viewers rely on and is reused by the CI trace-smoke step.
 (category, name) with count, total/self time and p50/p95/p99 — what
 ``repro-mimd profile`` prints.
 
-All file writes go through :func:`atomic_write_text` (temp file +
-``os.replace`` in the destination directory), so a killed process can
-never leave a truncated artifact behind.
+All file writes go through :func:`repro.util.io.atomic_write_text`
+(temp file + ``os.replace`` in the destination directory), so a killed
+process can never leave a truncated artifact behind.  The helpers are
+re-exported here for backwards compatibility; the implementation lives
+in :mod:`repro.util.io`.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.metrics import summarize
 from repro.obs.tracer import Span
+from repro.util.io import atomic_write_bytes, atomic_write_text
 
 __all__ = [
     "atomic_write_bytes",
@@ -35,38 +36,6 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
 ]
-
-
-def atomic_write_bytes(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
-
-    The temp file lives in the destination directory so ``os.replace``
-    stays a same-filesystem atomic rename; readers see either the old
-    content or the complete new content, never a prefix.
-    """
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp = tempfile.mkstemp(
-        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-def atomic_write_text(path: str, text: str) -> None:
-    """:func:`atomic_write_bytes` for text (UTF-8)."""
-    if not isinstance(text, str):
-        raise TypeError(f"atomic_write_text needs str, got {type(text)}")
-    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 # ----------------------------------------------------------------------

@@ -30,11 +30,27 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "labeled",
     "percentile",
     "registry",
     "set_registry",
     "summarize",
 ]
+
+
+def labeled(name: str, **labels: Any) -> str:
+    """Canonical flat name for a labeled instrument.
+
+    The registry's namespace is flat; labels are folded into the name
+    Prometheus-style, sorted so the same label set always produces the
+    same instrument: ``labeled("serve.requests", client="bench")`` ->
+    ``'serve.requests{client=bench}'``.  The serve daemon uses this
+    for its per-client request counters and latency histograms.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 
 def percentile(samples: Sequence[float], q: float) -> float:

@@ -31,6 +31,7 @@ from repro.machine.model import Machine
 
 from repro.pipeline.cache import (
     ArtifactCache,
+    SingleFlight,
     default_cache,
     fingerprint,
     machine_compile_fingerprint,
@@ -79,6 +80,7 @@ __all__ = [
     "PassRecord",
     "PipelineReport",
     "STANDARD_PASSES",
+    "SingleFlight",
     "aggregate_reports",
     "build_pipeline",
     "collect_reports",

@@ -30,12 +30,14 @@ from repro.machine.comm import CommModel, FluctuatingComm, UniformComm, ZeroComm
 from repro.machine.model import Machine
 from repro.obs.metrics import registry as _metrics
 from repro.obs.tracer import current_tracer as _tracer
+from repro.util.singleflight import SingleFlight
 
 from repro.pipeline.report import Diagnostic
 
 __all__ = [
     "ArtifactCache",
     "CacheEntry",
+    "SingleFlight",
     "default_cache",
     "fingerprint",
     "machine_compile_fingerprint",
@@ -144,6 +146,7 @@ class ArtifactCache:
         self.maxsize = maxsize
         self._lock = threading.RLock()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._singleflight = SingleFlight()
         self.hits = 0
         self.misses = 0
 
@@ -165,6 +168,51 @@ class ArtifactCache:
             name = "artifact_cache.hits" if entry else "artifact_cache.misses"
             _metrics().counter(name).inc()
         return entry
+
+    def _peek(self, key: str) -> CacheEntry | None:
+        """Lookup without touching the hit/miss statistics.
+
+        Used by :meth:`get_or_compute` for the post-flight double
+        check — the caller's original ``get`` already recorded the
+        miss, and a second bump would double-count it.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def get_or_compute(self, key, compute):
+        """``get(key)``, computing + storing under a per-key single
+        flight on a miss.
+
+        Concurrent callers with the same key coalesce onto one
+        ``compute()`` (cache-stampede protection); the leader
+        double-checks the cache inside the flight, so a sibling that
+        published the entry between the caller's miss and the flight
+        start — another thread, or another *process* via the disk tier
+        of :class:`~repro.runner.diskcache.TieredCache` — is honoured
+        instead of recomputed.  This is what stops campaign workers
+        and serve requests sharing a chain prefix from compiling the
+        same pass twice.
+
+        Returns ``(entry, fresh)`` where ``fresh`` is ``True`` only
+        for the caller whose ``compute()`` actually ran.
+        """
+        entry = self.get(key)
+        if entry is not None:
+            return entry, False
+
+        def flight():
+            found = self._peek(key)
+            if found is not None:
+                return found, False
+            made = compute()
+            self.put(key, made)
+            return made, True
+
+        (entry, computed), leader = self._singleflight.do(key, flight)
+        return entry, computed and leader
 
     def put(self, key: str, entry: CacheEntry) -> None:
         with self._lock:

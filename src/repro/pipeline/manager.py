@@ -21,9 +21,11 @@ does everything after it; correctness never depends on the cache.
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import time
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import PipelineError
 from repro.obs.metrics import registry
@@ -35,6 +37,10 @@ from repro.pipeline.passes import Pass, PassOutput
 from repro.pipeline.report import PassRecord, PipelineReport
 
 __all__ = ["PassManager", "collect_reports", "last_report"]
+
+#: Per-pass progress event, delivered to ``run(..., progress=)``:
+#: ``{"pass", "index", "total", "cache_hit", "seconds", "key"}``.
+ProgressCallback = Callable[[dict[str, Any]], None]
 
 #: Initial artifacts that can seed a cache chain (value-fingerprintable).
 _INPUT_KEYS = ("source", "loop", "graph", "original_graph", "unwound")
@@ -119,75 +125,107 @@ class PassManager:
             have.update(p.provides)
 
     # ------------------------------------------------------------------
-    def run(self, ctx: CompilationContext) -> PipelineReport:
-        """Execute (or cache-restore) every pass; returns the report."""
-        self.validate(set(ctx.artifacts))
+    def chain_keys(self, ctx: CompilationContext) -> list[str]:
+        """Every pass's content-addressed chain key, *without* running.
 
+        Pass fingerprints depend only on the context's inputs (seeded
+        artifacts, machine, name) and each pass's configuration, so
+        the full chain is known at admission time — the serve daemon
+        uses the final element to deduplicate and cache whole requests
+        before any work is scheduled.
+        """
         seeded = [k for k in _INPUT_KEYS if k in ctx.artifacts]
         chain = stable_hash(
             "seed",
             *[f"{k}={fingerprint(ctx.artifacts[k])}" for k in seeded],
         )
-        trusted = set(seeded)
+        keys: list[str] = []
+        for p in self.passes:
+            chain = stable_hash(chain, p.name, p.cache_fingerprint(ctx))
+            keys.append(chain)
+        return keys
+
+    def chain_key(self, ctx: CompilationContext) -> str:
+        """The final chain key — the identity of the whole compilation."""
+        return self.chain_keys(ctx)[-1]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        ctx: CompilationContext,
+        *,
+        progress: ProgressCallback | None = None,
+    ) -> PipelineReport:
+        """Execute (or cache-restore) every pass; returns the report.
+
+        ``progress`` (optional) is invoked after every pass with a
+        plain-dict event — what the serve daemon streams back to
+        clients pass by pass.
+        """
+        self.validate(set(ctx.artifacts))
+
+        keys = self.chain_keys(ctx)
+        trusted = {k for k in _INPUT_KEYS if k in ctx.artifacts}
 
         # The null tracer's span() returns a shared no-op object, so the
         # instrumentation below is allocation-free when tracing is off
         # (bench_tracing_overhead.py pins this).
         tracer = current_tracer()
         records: list[PassRecord] = []
-        for p in self.passes:
-            chain = stable_hash(chain, p.name, p.cache_fingerprint(ctx))
+        total = len(self.passes)
+        for index, (p, chain) in enumerate(zip(self.passes, keys)):
             chain_ok = all(k in trusted for k in p.requires)
             with tracer.span(p.name, "pass") as span:
-                entry = (
-                    self.cache.get(chain)
-                    if (self.cache is not None and chain_ok)
-                    else None
-                )
-                if entry is not None:
-                    t0 = time.perf_counter()
-                    ctx.artifacts.update(entry.artifacts)
-                    ctx.diagnostics.extend(entry.diagnostics)
-                    seconds = time.perf_counter() - t0
-                    records.append(
-                        PassRecord(
-                            p.name, seconds, True, dict(entry.counters)
-                        )
-                    )
-                    trusted.update(entry.artifacts)
-                    span.set("cache_hit", True)
-                    if tracer.enabled:
-                        reg = registry()
-                        reg.counter("pipeline.cache_hits").inc()
-                        reg.histogram(f"pass.{p.name}.seconds").observe(
-                            seconds
-                        )
-                    continue
-                out = PassOutput(p.name)
                 t0 = time.perf_counter()
-                p.run(ctx, out)
-                seconds = time.perf_counter() - t0
-                ctx.artifacts.update(out.artifacts)
-                ctx.diagnostics.extend(out.diagnostics)
                 if self.cache is not None and chain_ok:
-                    self.cache.put(
-                        chain,
-                        CacheEntry(
+                    # Per-key single flight: concurrent compilations
+                    # sharing this chain prefix coalesce onto one pass
+                    # execution (see ArtifactCache.get_or_compute).
+                    def compute(p=p):
+                        out = PassOutput(p.name)
+                        p.run(ctx, out)
+                        return CacheEntry(
                             dict(out.artifacts),
                             dict(out.counters),
                             tuple(out.diagnostics),
-                        ),
-                    )
-                if chain_ok:
-                    trusted.update(out.artifacts)
-                records.append(
-                    PassRecord(p.name, seconds, False, dict(out.counters))
-                )
-                span.set("cache_hit", False)
+                        )
+
+                    entry, fresh = self.cache.get_or_compute(chain, compute)
+                    cached = not fresh
+                    ctx.artifacts.update(entry.artifacts)
+                    ctx.diagnostics.extend(entry.diagnostics)
+                    counters = dict(entry.counters)
+                    trusted.update(entry.artifacts)
+                else:
+                    out = PassOutput(p.name)
+                    p.run(ctx, out)
+                    cached = False
+                    ctx.artifacts.update(out.artifacts)
+                    ctx.diagnostics.extend(out.diagnostics)
+                    counters = dict(out.counters)
+                    if chain_ok:
+                        trusted.update(out.artifacts)
+                seconds = time.perf_counter() - t0
+                records.append(PassRecord(p.name, seconds, cached, counters))
+                span.set("cache_hit", cached)
                 if tracer.enabled:
                     reg = registry()
-                    reg.counter("pipeline.passes_executed").inc()
+                    if cached:
+                        reg.counter("pipeline.cache_hits").inc()
+                    else:
+                        reg.counter("pipeline.passes_executed").inc()
                     reg.histogram(f"pass.{p.name}.seconds").observe(seconds)
+            if progress is not None:
+                progress(
+                    {
+                        "pass": p.name,
+                        "index": index,
+                        "total": total,
+                        "cache_hit": cached,
+                        "seconds": seconds,
+                        "key": chain,
+                    }
+                )
 
         report = PipelineReport(
             passes=tuple(records), diagnostics=tuple(ctx.diagnostics)
@@ -198,3 +236,28 @@ class PassManager:
         for sink in _COLLECTORS:
             sink.append(report)
         return report
+
+    # ------------------------------------------------------------------
+    async def run_async(
+        self,
+        ctx: CompilationContext,
+        *,
+        progress: ProgressCallback | None = None,
+        executor=None,
+    ) -> PipelineReport:
+        """:meth:`run` off the event loop thread (asyncio-friendly).
+
+        The blocking pipeline executes in ``executor`` (the loop's
+        default thread pool when ``None``); progress events are
+        marshalled back onto the event loop with
+        ``call_soon_threadsafe``, so an async caller can forward them
+        to a stream without locking.
+        """
+        loop = asyncio.get_running_loop()
+        cb: ProgressCallback | None = None
+        if progress is not None:
+            def cb(event: dict[str, Any]) -> None:
+                loop.call_soon_threadsafe(progress, event)
+        return await loop.run_in_executor(
+            executor, functools.partial(self.run, ctx, progress=cb)
+        )

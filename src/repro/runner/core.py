@@ -362,6 +362,14 @@ def _parallel_wave(
                 broken = True
             except Exception as exc:  # submission/pickling trouble
                 unfinished[i] = f"{type(exc).__name__}: {exc}"
+            except BaseException:
+                # SIGTERM/SIGINT (or another non-cell exception) while
+                # waiting: kill the pool on the way out instead of
+                # blocking in shutdown(wait=True) on cells nobody will
+                # collect — the CLI's graceful-shutdown path needs to
+                # flush artifacts and exit promptly.
+                broken = True
+                raise
     finally:
         if broken:
             _abandon_pool(ex)

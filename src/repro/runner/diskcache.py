@@ -22,7 +22,7 @@ copied under the wrong key (stale key) is detected, **quarantined**
 (moved into ``<root>/_quarantine/``, counted in ``corrupt_evictions``)
 and reported as a plain miss — a campaign over a trashed cache
 directory recomputes and overwrites, it never crashes.  Writes go
-through :func:`repro.obs.export.atomic_write_bytes` (temp file + fsync
+through :func:`repro.util.io.atomic_write_bytes` (temp file + fsync
 + ``os.replace``), so a worker killed mid-write can at worst leave a
 stale temp file, never a half-entry under a live key.
 """
@@ -34,8 +34,8 @@ import os
 import pickle
 import tempfile
 
-from repro.obs.export import atomic_write_bytes
 from repro.pipeline.cache import ArtifactCache, CacheEntry
+from repro.util.io import atomic_write_bytes
 
 __all__ = ["DiskCache", "TieredCache"]
 
@@ -208,6 +208,20 @@ class TieredCache(ArtifactCache):
             self.misses -= 1
             self.hits += 1
         super().put(key, entry)
+        return entry
+
+    def _peek(self, key: str) -> CacheEntry | None:
+        # The single-flight double check must also consult the disk
+        # tier: between this process's miss and the flight start,
+        # another *process* (a sibling campaign worker) may have
+        # published the entry.  Honouring it here is the cross-process
+        # half of the duplicate-compile fix.
+        entry = super()._peek(key)
+        if entry is not None:
+            return entry
+        entry = self.disk.get(key)
+        if entry is not None:
+            super().put(key, entry)
         return entry
 
     def put(self, key: str, entry: CacheEntry) -> None:

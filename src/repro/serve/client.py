@@ -1,0 +1,184 @@
+"""Clients for the serve daemon.
+
+* :func:`request_json` — one blocking request over a fresh connection
+  (stdlib ``http.client``); what the tests and CLI examples use.
+* :class:`AsyncConnection` — a persistent keep-alive connection on
+  asyncio streams; the load benchmark multiplexes 10k+ requests over a
+  few hundred of these.  Handles both Content-Length and chunked
+  (streaming NDJSON) responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, AsyncIterator
+
+__all__ = ["AsyncConnection", "request_json"]
+
+
+def request_json(
+    host: str,
+    port: int,
+    payload: Any = None,
+    *,
+    path: str = "/compile",
+    method: str = "POST",
+    timeout: float = 60.0,
+) -> tuple[int, Any]:
+    """One blocking HTTP request; returns ``(status, decoded body)``."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        data = resp.read()
+        return resp.status, json.loads(data) if data else None
+    finally:
+        conn.close()
+
+
+class AsyncConnection:
+    """One persistent HTTP/1.1 connection to the daemon.
+
+    Not safe for concurrent use — HTTP/1.1 pipelining is not a thing
+    here; give each concurrent task its own connection (the benchmark
+    pools them behind a semaphore).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "AsyncConnection":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> tuple[int, Any]:
+        """Send one request, return ``(status, decoded JSON body)``.
+
+        Reconnects transparently when the server closed an idle
+        keep-alive connection.
+        """
+        if self._writer is None:
+            await self.connect()
+        try:
+            await self._send(method, path, payload)
+            return await self._read_response()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            # Idle connection torn down server-side: one reconnect.
+            await self.aclose()
+            await self.connect()
+            await self._send(method, path, payload)
+            return await self._read_response()
+
+    async def compile(self, payload: Any) -> tuple[int, Any]:
+        return await self.request("POST", "/compile", payload)
+
+    async def stream_compile(
+        self, payload: Any
+    ) -> AsyncIterator[dict[str, Any]]:
+        """POST a ``stream: true`` request; yields NDJSON events.
+
+        The last event is ``{"event": "done", "response": ...}`` (or
+        ``{"event": "error", ...}``).
+        """
+        if self._writer is None:
+            await self.connect()
+        await self._send("POST", "/compile", dict(payload, stream=True))
+        assert self._reader is not None
+        status, headers = await self._read_head()
+        if headers.get("transfer-encoding", "").lower() != "chunked":
+            # Pre-stream failure (e.g. 400): one JSON error body.
+            body = await self._read_sized_body(headers)
+            yield {"event": "error", "status": status, **json.loads(body)}
+            return
+        async for line in self._iter_chunked_lines():
+            yield json.loads(line)
+
+    # ------------------------------------------------------------------
+    async def _send(self, method: str, path: str, payload: Any) -> None:
+        assert self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+
+    async def _read_head(self) -> tuple[int, dict[str, str]]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return status, headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    async def _read_sized_body(self, headers: dict[str, str]) -> bytes:
+        assert self._reader is not None
+        n = int(headers.get("content-length", "0"))
+        return await self._reader.readexactly(n) if n else b""
+
+    async def _read_response(self) -> tuple[int, Any]:
+        status, headers = await self._read_head()
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = [line async for line in self._iter_chunked_lines()]
+            body = b"".join(chunks)
+        else:
+            body = await self._read_sized_body(headers)
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return status, json.loads(body) if body else None
+
+    async def _iter_chunked_lines(self) -> AsyncIterator[bytes]:
+        """Decode chunked transfer coding; yields complete chunks.
+
+        The server writes one NDJSON line per chunk, so chunk
+        boundaries are line boundaries.
+        """
+        assert self._reader is not None
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await self._reader.readline()  # trailing CRLF
+                return
+            data = await self._reader.readexactly(size)
+            await self._reader.readexactly(2)  # chunk CRLF
+            yield data.rstrip(b"\n")

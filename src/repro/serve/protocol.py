@@ -1,0 +1,173 @@
+"""Request/response shapes of the compile service.
+
+A request is a JSON object naming *what to compile* (mini-language
+``source`` text, or a named ``workload`` from the suite) and the
+machine/evaluation parameters.  ``build_context`` maps a parsed
+request onto the exact pipeline the batch CLI would run, so a served
+compilation shares chain keys — and therefore cache entries — with
+every other entry point in the repo.
+
+The ``result`` section of a response is **deterministic**: it is a
+pure function of the request, so hits, coalesced waits, and
+crashed-and-requeued compilations are bit-identical to a fault-free
+miss (the stampede and chaos tests pin this).  Anything that may
+legitimately vary between runs (timings, attempt counts, cache
+status) lives in the ``server`` section instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+from repro.machine.comm import UniformComm
+from repro.machine.model import Machine
+from repro.metrics import percentage_parallelism, sequential_time
+from repro.pipeline import CompilationContext, PassManager, build_pipeline
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CompileRequest",
+    "build_context",
+    "parse_request",
+    "response_cache_key",
+    "result_payload",
+]
+
+#: Bumped whenever the ``result`` shape changes, so stale cached
+#: responses (disk tier survives restarts) are never served to a
+#: client speaking the new shape.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One validated compile request."""
+
+    source: str | None = None
+    workload: str | None = None
+    processors: int = 4
+    k: int = 2
+    iterations: int = 100
+    emit: bool = False
+    client: str = "anon"
+    stream: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.workload if self.workload else "loop"
+
+
+def _require_int(obj: Mapping[str, Any], key: str, default: int, lo: int) -> int:
+    value = obj.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(f"request field {key!r} must be an integer")
+    if value < lo:
+        raise ServeError(f"request field {key!r} must be >= {lo}, got {value}")
+    return value
+
+
+def parse_request(obj: Any) -> CompileRequest:
+    """Validate a decoded JSON body into a :class:`CompileRequest`."""
+    if not isinstance(obj, Mapping):
+        raise ServeError("request body must be a JSON object")
+    source = obj.get("source")
+    workload = obj.get("workload")
+    if (source is None) == (workload is None):
+        raise ServeError(
+            "request must have exactly one of 'source' (mini-language "
+            "text) or 'workload' (a named workload)"
+        )
+    if source is not None and not isinstance(source, str):
+        raise ServeError("request field 'source' must be a string")
+    if workload is not None and not isinstance(workload, str):
+        raise ServeError("request field 'workload' must be a string")
+    client = obj.get("client", "anon")
+    if not isinstance(client, str) or not client:
+        raise ServeError("request field 'client' must be a non-empty string")
+    return CompileRequest(
+        source=source,
+        workload=workload,
+        processors=_require_int(obj, "processors", 4, 1),
+        k=_require_int(obj, "k", 2, 0),
+        iterations=_require_int(obj, "iterations", 100, 1),
+        emit=bool(obj.get("emit", False)),
+        client=client,
+        stream=bool(obj.get("stream", False)),
+    )
+
+
+def build_context(
+    req: CompileRequest,
+) -> tuple[CompilationContext, PassManager]:
+    """The context + pipeline this request compiles under.
+
+    Source requests run the full front end with distance
+    normalization (any mini-language loop compiles); named-workload
+    requests start from the workload's dependence graph and normalize
+    only when it carries distances > 1 — exactly the batch CLI's
+    behaviour, so chain keys line up with every other entry point.
+    """
+    machine = Machine(req.processors, UniformComm(req.k))
+    if req.source is not None:
+        ctx = CompilationContext.from_source(
+            req.source, machine, name=req.name
+        )
+        pm = build_pipeline(
+            source=True,
+            normalize=True,
+            iterations=req.iterations,
+            emit=req.emit,
+        )
+        return ctx, pm
+    from repro.workloads import suite
+
+    workloads = suite()
+    if req.workload not in workloads:
+        raise ServeError(
+            f"unknown workload {req.workload!r} "
+            f"(named workloads: {', '.join(sorted(workloads))})"
+        )
+    graph = workloads[req.workload].graph
+    ctx = CompilationContext.from_graph(graph, machine)
+    pm = build_pipeline(
+        normalize=graph.max_distance() > 1,
+        iterations=req.iterations,
+        emit=req.emit,
+    )
+    return ctx, pm
+
+
+def response_cache_key(chain_key: str) -> str:
+    """Cache key of the rendered response for one chain key."""
+    from repro.pipeline.cache import stable_hash
+
+    return stable_hash(chain_key, "serve-response", str(PROTOCOL_VERSION))
+
+
+def result_payload(
+    ctx: CompilationContext, req: CompileRequest, chain_key: str
+) -> dict[str, Any]:
+    """The deterministic ``result`` section for a finished compile."""
+    evaluation = ctx.evaluation
+    makespan = evaluation.makespan()
+    graph = ctx.artifacts.get("original_graph") or ctx.get("graph")
+    sequential = sequential_time(graph, req.iterations)
+    result: dict[str, Any] = {
+        "name": ctx.name,
+        "key": chain_key,
+        "kind": type(ctx.scheduled).__name__,
+        "processors": req.processors,
+        "k": req.k,
+        "iterations": req.iterations,
+        "makespan": makespan,
+        "sequential": sequential,
+        "sp": round(percentage_parallelism(sequential, makespan), 3),
+        "passes": [r.name for r in (ctx.report.passes if ctx.report else ())],
+        "warnings": [str(d) for d in ctx.warnings()],
+    }
+    code = ctx.artifacts.get("code")
+    if req.emit and code is not None:
+        result["code"] = code
+    return result

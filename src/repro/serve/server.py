@@ -1,0 +1,381 @@
+"""Stdlib-asyncio HTTP/1.1 front end over :class:`CompileService`.
+
+Endpoints:
+
+* ``POST /compile`` — body is a compile-request JSON object.  The
+  normal response is one JSON document; with ``"stream": true`` the
+  response is chunked NDJSON: one ``{"event": "pass", ...}`` line per
+  completed pass (server-side span data: pass name, wall seconds,
+  cache flag, attempt) followed by ``{"event": "done", "response":
+  ...}``.
+* ``GET /stats`` — cache stats + the service's metrics snapshot.
+* ``GET /healthz`` — liveness probe.
+
+Error mapping: :class:`~repro.errors.AdmissionError` -> 503,
+:class:`~repro.errors.ServeError` -> 400, anything else -> 500; error
+bodies are ``{"ok": false, "error": ..., "kind": ...}``.
+
+Connections are keep-alive by default (HTTP/1.1 semantics); the load
+benchmark drives thousands of requests over a few hundred persistent
+connections.  Shutdown is graceful: the listener closes first, then
+in-flight requests drain before :meth:`ServeServer.aclose` returns —
+accepted work is never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from repro.errors import AdmissionError, ReproError, ServeError
+
+from repro.serve.service import CompileService, ServeConfig
+
+__all__ = ["ServeServer", "start_in_thread"]
+
+_MAX_BODY = 4 * 1024 * 1024
+_MAX_HEADER = 64 * 1024
+
+_STATUS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _encode(obj: Any) -> bytes:
+    # Compact separators + sorted keys: the byte-identical responses
+    # the stampede and chaos tests compare are produced here.
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+
+
+class ServeServer:
+    """One listening socket bound to one :class:`CompileService`."""
+
+    def __init__(
+        self,
+        service: CompileService | None = None,
+        config: ServeConfig | None = None,
+    ) -> None:
+        if service is not None and config is not None:
+            raise ValueError("pass a service or a config, not both")
+        self.service = service or CompileService(config)
+        self.config = self.service.config
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and listen; resolves ``self.port`` (for ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain in-flight requests, release workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self.service._flights:
+            await asyncio.gather(
+                *self.service._flights.values(), return_exceptions=True
+            )
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line:
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            await self._send_json(
+                writer, 400, {"ok": False, "error": "malformed request line"}
+            )
+            return False
+
+        headers = await self._read_headers(reader)
+        keep_alive = (
+            version != "HTTP/1.0"
+            and headers.get("connection", "").lower() != "close"
+        )
+
+        try:
+            body = await self._read_body(reader, headers)
+            response, status, stream = await self._route(method, target, body)
+        except _HttpError as exc:
+            await self._send_json(
+                writer,
+                exc.status,
+                {"ok": False, "error": str(exc)},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        except AdmissionError as exc:
+            await self._send_json(
+                writer,
+                503,
+                {"ok": False, "error": str(exc), "kind": "AdmissionError"},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        except ServeError as exc:
+            await self._send_json(
+                writer,
+                400,
+                {"ok": False, "error": str(exc), "kind": type(exc).__name__},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        except ReproError as exc:
+            await self._send_json(
+                writer,
+                500,
+                {"ok": False, "error": str(exc), "kind": type(exc).__name__},
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+
+        if stream:
+            await self._send_stream(writer, response, keep_alive=keep_alive)
+        else:
+            await self._send_json(
+                writer, status, response, keep_alive=keep_alive
+            )
+        return keep_alive
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[Any, int, bool]:
+        path = target.split("?", 1)[0]
+        if path == "/compile":
+            if method != "POST":
+                raise _HttpError(405, "POST /compile")
+            try:
+                payload = json.loads(body or b"null")
+            except json.JSONDecodeError as exc:
+                raise ServeError(f"request body is not valid JSON: {exc}")
+            from repro.serve.protocol import parse_request
+
+            req = parse_request(payload)
+            if req.stream:
+                return req, 200, True
+            response = await self.service.submit(req)
+            return response, 200, False
+        if path == "/stats":
+            if method != "GET":
+                raise _HttpError(405, "GET /stats")
+            return {"ok": True, **self.service.stats()}, 200, False
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "GET /healthz")
+            return {"ok": True}, 200, False
+        raise _HttpError(404, f"no such endpoint: {path}")
+
+    # ------------------------------------------------------------------
+    async def _read_headers(
+        self, reader: asyncio.StreamReader
+    ) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        size = 0
+        while True:
+            line = await reader.readline()
+            size += len(line)
+            if size > _MAX_HEADER:
+                raise _HttpError(413, "header section too large")
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes:
+        length = headers.get("content-length")
+        if length is None:
+            return b""
+        try:
+            n = int(length)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length: {length!r}")
+        if n < 0 or n > _MAX_BODY:
+            raise _HttpError(413, f"body too large ({length} bytes)")
+        return await reader.readexactly(n) if n else b""
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        obj: Any,
+        *,
+        keep_alive: bool = False,
+    ) -> None:
+        body = _encode(obj)
+        head = (
+            f"HTTP/1.1 {status} {_STATUS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _send_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        req,
+        *,
+        keep_alive: bool = False,
+    ) -> None:
+        """Chunked NDJSON: per-pass events, then the final response."""
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+
+        def chunk(line: bytes) -> bytes:
+            return b"%x\r\n%s\r\n" % (len(line), line)
+
+        def on_pass(event: dict[str, Any]) -> None:
+            line = _encode({"event": "pass", **event}) + b"\n"
+            writer.write(chunk(line))
+
+        try:
+            response = await self.service.submit(req, progress=on_pass)
+            final = {"event": "done", "response": response}
+        except ReproError as exc:
+            final = {
+                "event": "error",
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            }
+        writer.write(chunk(_encode(final) + b"\n") + b"0\r\n\r\n")
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+class _ThreadHandle:
+    """A server running on an event loop in a daemon thread."""
+
+    def __init__(self, server: ServeServer, loop, thread) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+        self.host = server.host
+        self.port = server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.aclose(), self.loop
+        )
+        fut.result(timeout=timeout)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "_ThreadHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    config: ServeConfig | None = None,
+    *,
+    service: CompileService | None = None,
+) -> _ThreadHandle:
+    """Run a server on a fresh event loop in a daemon thread.
+
+    For tests and the benchmark: the caller's thread stays free to
+    drive blocking clients.  Returns a context-manager handle with
+    ``host``/``port`` resolved (use ``port=0`` for an ephemeral port).
+    """
+    if config is None and service is None:
+        config = ServeConfig(port=0)
+    server = ServeServer(service=service, config=config)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # bind failure: surface to caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if failure:
+        raise failure[0]
+    return _ThreadHandle(server, loop, thread)

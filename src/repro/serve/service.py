@@ -1,0 +1,298 @@
+"""The transport-independent core of the serve daemon.
+
+:class:`CompileService` turns the batch pipeline into a long-lived
+service: requests are identified by their content-addressed chain key
+*at admission* (no work scheduled yet), answered straight from the
+cache when warm, coalesced onto one in-flight compilation when an
+identical request is already running, and otherwise compiled on a
+worker thread with per-pass progress marshalled back to the event
+loop.
+
+Counter contract (pinned by the cache-stampede test): for ``K``
+concurrent requests with the same chain key and a cold cache, exactly
+one ``serve.cache_miss`` is recorded, the other ``K - 1`` requests
+record ``serve.singleflight_wait``, and the pipeline executes exactly
+once.  Subsequent requests for the key record ``serve.cache_hit``.
+
+Chaos seam: a :class:`~repro.chaos.faults.WorkerCrash` spec in the
+config's fault plan kills the compile worker mid-request (after its
+first pass, deterministically keyed by chain key and attempt number).
+The service counts ``serve.worker_crashes`` and re-queues the attempt;
+the client still receives the bit-identical response — accepted work
+is never dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.chaos.faults import FaultPlan, InjectedWorkerCrash
+from repro.errors import AdmissionError
+from repro.obs.metrics import MetricsRegistry, labeled
+from repro.pipeline.cache import ArtifactCache, CacheEntry
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    CompileRequest,
+    build_context,
+    parse_request,
+    response_cache_key,
+    result_payload,
+)
+
+__all__ = ["CompileService", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one service instance (and its HTTP front end)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    #: max number of *distinct* in-flight compilations; coalesced
+    #: waiters ride an existing flight and never count against this.
+    max_queue: int = 256
+    #: worker-crash requeue budget per request (attempts, not retries).
+    max_attempts: int = 5
+    #: compile worker threads; ``None`` = ThreadPoolExecutor default.
+    workers: int | None = None
+    #: in-memory response/artifact cache entries.  Sized so a load
+    #: burst of distinct programs does not evict its own pass chain.
+    cache_maxsize: int = 4096
+    #: deterministic fault injection (WorkerCrash specs apply here).
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+class CompileService:
+    """Admission, single flight, caching and retry around the pipeline.
+
+    Owns a compile thread pool and a :class:`MetricsRegistry` (metrics
+    are always on for a service — they feed the ``/stats`` endpoint
+    and the load benchmark, independent of tracing).  The cache
+    defaults to a private :class:`ArtifactCache`; hand it a
+    :class:`~repro.runner.diskcache.TieredCache` to persist responses
+    across daemon restarts.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        cache: ArtifactCache | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.cache = (
+            cache
+            if cache is not None
+            else ArtifactCache(maxsize=self.config.cache_maxsize)
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.started_at = time.time()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve-compile",
+        )
+        #: chain key -> future resolving to the deterministic result.
+        self._flights: dict[str, asyncio.Future] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        request: CompileRequest | Any,
+        *,
+        progress: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Serve one request; returns the full response document.
+
+        ``request`` is a :class:`CompileRequest` or a decoded JSON
+        object (validated here).  ``progress`` is invoked on the event
+        loop with per-pass events — only when *this* request leads a
+        fresh compilation; warm hits and coalesced waiters produce no
+        events (nothing executed on their behalf).
+        """
+        t0 = time.perf_counter()
+        req = (
+            request
+            if isinstance(request, CompileRequest)
+            else parse_request(request)
+        )
+        m = self.metrics
+        m.counter("serve.requests").inc()
+        m.counter(labeled("serve.requests", client=req.client)).inc()
+        try:
+            response = await self._dispatch(req, progress)
+        except Exception:
+            m.counter("serve.errors").inc()
+            m.counter(labeled("serve.errors", client=req.client)).inc()
+            raise
+        finally:
+            elapsed = time.perf_counter() - t0
+            m.histogram("serve.latency_seconds").observe(elapsed)
+            m.histogram(
+                labeled("serve.latency_seconds", client=req.client)
+            ).observe(elapsed)
+        response["server"]["seconds"] = round(
+            time.perf_counter() - t0, 6
+        )
+        return response
+
+    async def _dispatch(
+        self,
+        req: CompileRequest,
+        progress: Callable[[dict[str, Any]], None] | None,
+    ) -> dict[str, Any]:
+        ctx, pm = build_context(req)
+        chain = pm.chain_key(ctx)
+        rkey = response_cache_key(chain)
+        m = self.metrics
+
+        entry = self.cache.get(rkey)
+        if entry is not None:
+            m.counter("serve.cache_hit").inc()
+            return self._respond(entry.artifacts["response"], "hit", 0)
+
+        flight = self._flights.get(chain)
+        if flight is not None:
+            m.counter("serve.singleflight_wait").inc()
+            result = await asyncio.shield(flight)
+            return self._respond(result, "coalesced", 0)
+
+        if len(self._flights) >= self.config.max_queue:
+            m.counter("serve.admission_rejects").inc()
+            raise AdmissionError(
+                f"compile queue full ({self.config.max_queue} in flight); "
+                "retry after a backoff"
+            )
+        m.counter("serve.cache_miss").inc()
+        loop = asyncio.get_running_loop()
+        flight = loop.create_future()
+        self._flights[chain] = flight
+        m.gauge("serve.inflight").set(len(self._flights))
+        try:
+            result, attempts, events = await self._compile(
+                req, chain, progress
+            )
+        except BaseException as exc:
+            flight.set_exception(exc)
+            flight.exception()  # mark retrieved: waiters re-raise anyway
+            raise
+        else:
+            flight.set_result(result)
+        finally:
+            self._flights.pop(chain, None)
+            m.gauge("serve.inflight").set(len(self._flights))
+        self.cache.put(rkey, CacheEntry({"response": result}, {}, ()))
+        response = self._respond(result, "miss", attempts)
+        response["server"]["passes"] = events
+        return response
+
+    async def _compile(
+        self,
+        req: CompileRequest,
+        chain: str,
+        progress: Callable[[dict[str, Any]], None] | None,
+    ) -> tuple[dict[str, Any], int, list[dict[str, Any]]]:
+        """Run the pipeline on a worker thread, re-queueing on crashes."""
+        loop = asyncio.get_running_loop()
+        m = self.metrics
+        attempt = 0
+        while True:
+            attempt += 1
+            events: list[dict[str, Any]] = []
+
+            def forward(event: dict[str, Any], attempt=attempt, sink=events):
+                event = dict(event, attempt=attempt)
+                sink.append(event)
+                if progress is not None:
+                    progress(event)
+
+            try:
+                ctx = await loop.run_in_executor(
+                    self._executor,
+                    functools.partial(
+                        self._run_attempt, req, chain, attempt, forward, loop
+                    ),
+                )
+                m.counter("serve.pipeline_runs").inc()
+                break
+            except InjectedWorkerCrash:
+                m.counter("serve.worker_crashes").inc()
+                if attempt >= self.config.max_attempts:
+                    # Only reachable with a plan whose crash budget
+                    # exceeds the attempt budget — surface it rather
+                    # than loop forever.
+                    raise
+        result = result_payload(ctx, req, chain)
+        return result, attempt, events
+
+    def _run_attempt(
+        self,
+        req: CompileRequest,
+        chain: str,
+        attempt: int,
+        forward: Callable[[dict[str, Any]], None],
+        loop: asyncio.AbstractEventLoop,
+    ):
+        """One compile attempt (worker thread).
+
+        A fresh context is built per attempt — a crashed attempt's
+        half-mutated context is discarded, like a dead worker's heap.
+        Passes completed before the crash stay in the artifact cache,
+        so the re-queued attempt resumes from them.
+        """
+        ctx, pm = build_context(req)
+        plan = self.config.fault_plan
+        crash = plan is not None and plan.should_crash_worker(chain, attempt)
+
+        def hook(event: dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(forward, event)
+            if crash and event["index"] == 0:
+                # Die after the first pass completes: genuinely
+                # mid-request, with partial work already published.
+                raise InjectedWorkerCrash(
+                    f"injected worker crash: key={chain} attempt={attempt}"
+                )
+
+        pm.run(ctx, progress=hook)
+        return ctx
+
+    # ------------------------------------------------------------------
+    def _respond(
+        self, result: dict[str, Any], status: str, attempts: int
+    ) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "result": result,
+            "server": {"cache": status, "attempts": attempts},
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready snapshot for the ``/stats`` endpoint."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "inflight": len(self._flights),
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Release the compile pool (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,47 @@
+"""Atomic file writes.
+
+Historically this lived twice — ``obs/export.py`` (text, for trace and
+JSON artifacts) and ``runner/diskcache.py`` (bytes, for cache entries)
+imported one of the two copies.  This module is the single
+implementation; both layers plus the serve daemon's response/artifact
+writes go through it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
+
+    The temp file lives in the destination directory so ``os.replace``
+    stays a same-filesystem atomic rename; readers see either the old
+    content or the complete new content, never a prefix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """:func:`atomic_write_bytes` for text (UTF-8)."""
+    if not isinstance(text, str):
+        raise TypeError(f"atomic_write_text needs str, got {type(text)}")
+    atomic_write_bytes(path, text.encode("utf-8"))

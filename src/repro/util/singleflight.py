@@ -1,0 +1,97 @@
+"""Per-key coalescing of concurrent computations ("single flight").
+
+When several threads ask for the same expensive, deterministic result
+at the same time, only one of them — the *leader* — should compute it;
+the rest wait and share the leader's result.  This is the classic
+cache-stampede protection (after Go's ``golang.org/x/sync/singleflight``):
+without it, a burst of identical requests multiplies the work by the
+burst size exactly when the system is busiest.
+
+:class:`SingleFlight` is the threading primitive.  The pipeline's
+:class:`~repro.pipeline.cache.ArtifactCache` composes it with its LRU
+(``get_or_compute``), and the serve daemon layers an asyncio
+single-flight over whole requests; both count waiters so the
+"K concurrent identical requests -> 1 execution, K-1 waits" invariant
+is observable in metrics.
+
+The computation runs *outside* the registry lock, so flights for
+different keys proceed in parallel and a flight may itself start
+nested flights for other keys (the pass-by-pass chain does exactly
+that).  Re-entering the *same* key from inside its own flight would
+deadlock — chain keys are acyclic by construction, so this cannot
+happen in the pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    """One in-progress computation: a latch plus its outcome."""
+
+    __slots__ = ("done", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Coalesce concurrent calls per key onto one execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def waiters(self, key: str) -> int:
+        """How many callers are currently waiting on ``key``'s flight."""
+        with self._lock:
+            flight = self._flights.get(key)
+            return flight.waiters if flight is not None else 0
+
+    def do(
+        self, key: str, fn: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent burst of ``key``.
+
+        Returns ``(value, leader)``: ``leader`` is ``True`` for the
+        caller that actually executed ``fn``.  Waiters block until the
+        leader finishes and receive the same value; if the leader
+        raised, every caller of the burst re-raises that exception.
+        The flight is retired when the leader finishes, so a *later*
+        call with the same key starts a fresh flight — single flight
+        deduplicates concurrency, not time.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+            else:
+                flight.waiters += 1
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, True

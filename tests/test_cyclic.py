@@ -160,6 +160,40 @@ class TestExpansionValidity:
         s = r.pattern.expand(n)
         s.validate(g, m.comm, iterations=n)
 
+    def test_lagging_nodes_cannot_escape_the_kernel(self):
+        """Regression: a spurious window match must not drop nodes.
+
+        On this dense body (hypothesis-found), v3/v4 lag in the ready
+        queue while v0..v2 race ahead, so two windows containing only
+        v0..v2 match and verify — the kernel simply predates v3/v4's
+        first placements.  Without the expected-node check the pattern
+        was accepted with an impossible 3 cycles/iter (the body is 8
+        cycle-units of work on 2 processors) and ``expand`` silently
+        dropped every v3/v4 instance from the program.
+        """
+        g = DependenceGraph("lagging")
+        for name, lat in [
+            ("v0", 1), ("v1", 2), ("v2", 3), ("v3", 1), ("v4", 1)
+        ]:
+            g.add_node(name, lat)
+        for src, dst in [
+            ("v0", "v1"), ("v0", "v2"), ("v0", "v3"), ("v0", "v4"),
+            ("v1", "v2"), ("v1", "v3"), ("v1", "v4"),
+            ("v2", "v3"), ("v2", "v4"), ("v3", "v4"),
+        ]:
+            g.add_edge(src, dst, distance=0)
+        g.add_edge("v0", "v0", distance=1)
+        g.add_edge("v4", "v3", distance=1)
+
+        m = Machine(2, UniformComm(2))
+        r = schedule_cyclic(g, m)
+        assert set(r.pattern.node_names()) == set(g.node_names())
+        # work conservation: 8 cycle-units/iteration on 2 processors
+        assert r.pattern.cycles_per_iteration() >= 4
+        n = 3 * r.pattern.iter_shift + 4
+        s = r.pattern.expand(n)
+        s.validate(g, m.comm, iterations=n)
+
     @given(connected_cyclic_graphs(max_nodes=4))
     @settings(max_examples=25)
     def test_rate_at_least_recurrence_bound(self, g):

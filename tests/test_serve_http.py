@@ -1,0 +1,169 @@
+"""The serve daemon's HTTP front end, over a real TCP socket.
+
+A single server runs in a daemon thread for the whole module (the
+service core has its own transport-free suite in ``test_serve.py``);
+these tests exercise request framing, status mapping, keep-alive,
+chunked progress streaming, and cross-connection request coalescing.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    AsyncConnection,
+    ServeConfig,
+    request_json,
+    start_in_thread,
+)
+from repro.workloads.examples import FIG7_SOURCE
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    handle = start_in_thread(ServeConfig(port=0, workers=4))
+    yield handle
+    handle.stop()
+
+
+def canonical(result):
+    return json.dumps(result, sort_keys=True, separators=(",", ":"))
+
+
+class TestEndpoints:
+    def test_compile_roundtrip(self, daemon):
+        status, body = request_json(
+            daemon.host, daemon.port, {"source": FIG7_SOURCE, "iterations": 60}
+        )
+        assert status == 200
+        assert body["ok"] is True
+        assert body["protocol"] == 1
+        assert body["result"]["makespan"] == 180
+        assert body["result"]["sp"] == 40.0
+        assert body["server"]["cache"] in ("miss", "hit")
+
+    def test_warm_requests_hit(self, daemon):
+        payload = {"workload": "adaptive", "iterations": 30}
+        first = request_json(daemon.host, daemon.port, payload)[1]
+        second = request_json(daemon.host, daemon.port, payload)[1]
+        assert second["server"]["cache"] == "hit"
+        assert canonical(first["result"]) == canonical(second["result"])
+
+    def test_healthz_and_stats(self, daemon):
+        assert request_json(
+            daemon.host, daemon.port, path="/healthz", method="GET"
+        ) == (200, {"ok": True})
+        status, stats = request_json(
+            daemon.host, daemon.port, path="/stats", method="GET"
+        )
+        assert status == 200
+        assert stats["ok"] is True
+        assert "serve.requests" in stats["metrics"]["counters"]
+        assert stats["uptime_seconds"] >= 0
+        assert "cache" in stats
+
+    def test_error_status_mapping(self, daemon):
+        host, port = daemon.host, daemon.port
+        # malformed request object -> 400
+        assert request_json(host, port, {"no": "program"})[0] == 400
+        # unknown workload -> 400 with the error kind
+        status, body = request_json(host, port, {"workload": "zzz"})
+        assert status == 400
+        assert body["ok"] is False
+        assert body["kind"] == "ServeError"
+        # invalid JSON body -> 400 (empty body decodes to null)
+        assert request_json(host, port, None)[0] == 400
+        # unknown path -> 404; wrong method -> 405
+        assert request_json(host, port, path="/nope", method="GET")[0] == 404
+        assert request_json(host, port, path="/compile", method="GET")[0] == 405
+        assert request_json(host, port, {}, path="/stats")[0] == 405
+
+
+class TestAsyncClient:
+    def test_keep_alive_connection_reuse(self, daemon):
+        async def scenario():
+            async with AsyncConnection(daemon.host, daemon.port) as conn:
+                results = []
+                for _ in range(3):
+                    status, body = await conn.compile(
+                        {"workload": "elliptic", "iterations": 30}
+                    )
+                    results.append((status, body["server"]["cache"]))
+                return results
+
+        results = asyncio.run(scenario())
+        assert [s for s, _ in results] == [200, 200, 200]
+        assert [c for _, c in results][1:] == ["hit", "hit"]
+
+    def test_concurrent_identical_requests_coalesce(self, daemon):
+        payload = {"source": FIG7_SOURCE, "iterations": 77, "client": "swarm"}
+
+        async def one():
+            async with AsyncConnection(daemon.host, daemon.port) as conn:
+                return await conn.compile(dict(payload))
+
+        async def swarm():
+            return await asyncio.gather(*[one() for _ in range(12)])
+
+        responses = asyncio.run(swarm())
+        assert all(status == 200 for status, _ in responses)
+        bodies = [body for _, body in responses]
+        assert len({canonical(b["result"]) for b in bodies}) == 1
+        statuses = sorted(b["server"]["cache"] for b in bodies)
+        # exactly one request led; the rest coalesced or (if they
+        # arrived after completion) hit the cache
+        assert statuses.count("miss") == 1
+
+    def test_streaming_progress_events(self, daemon):
+        async def scenario():
+            async with AsyncConnection(daemon.host, daemon.port) as conn:
+                return [
+                    event
+                    async for event in conn.stream_compile(
+                        {"workload": "livermore18", "iterations": 33}
+                    )
+                ]
+
+        events = asyncio.run(scenario())
+        assert events[-1]["event"] == "done"
+        response = events[-1]["response"]
+        assert response["ok"] is True
+        passes = [e for e in events if e["event"] == "pass"]
+        if response["server"]["cache"] == "miss":
+            # server-side span data rides each event
+            assert [e["pass"] for e in passes] == response["result"]["passes"]
+            assert all(
+                {"seconds", "cache_hit", "index", "attempt"} <= set(e)
+                for e in passes
+            )
+        else:  # warm: no passes executed, stream is just the result
+            assert passes == []
+
+    def test_streaming_error_still_terminates(self, daemon):
+        async def scenario():
+            async with AsyncConnection(daemon.host, daemon.port) as conn:
+                return [
+                    event
+                    async for event in conn.stream_compile(
+                        {"workload": "not-a-workload"}
+                    )
+                ]
+
+        events = asyncio.run(scenario())
+        assert events[-1]["event"] == "error"
+
+
+class TestGracefulStop:
+    def test_stop_drains_and_releases_port(self):
+        handle = start_in_thread(ServeConfig(port=0, workers=2))
+        status, _ = request_json(
+            handle.host, handle.port, {"workload": "fig1", "iterations": 20}
+        )
+        assert status == 200
+        handle.stop()
+        assert not handle.thread.is_alive()
+        with pytest.raises(OSError):
+            request_json(
+                handle.host, handle.port, {"workload": "fig1"}, timeout=2
+            )

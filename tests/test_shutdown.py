@@ -1,0 +1,150 @@
+"""Graceful-shutdown regression tests (SIGTERM/SIGINT artifact flush).
+
+Each test drives ``repro-mimd`` in a subprocess, kills it mid-run, and
+validates what landed on disk: the exit code must be 128+signum and
+the pending ``--json`` / ``--trace-out`` artifacts must be flushed as
+*complete* files — valid JSON, a Chrome trace that passes
+``validate_chrome_trace`` — with the payload marked ``interrupted``.
+Regression for the old behaviour, where a signal simply killed the
+process and left nothing (or a truncated file) behind.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs import validate_chrome_trace
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def spawn(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=cwd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def wait_for(proc, timeout=60):
+    try:
+        out, _ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, _ = proc.communicate()
+        pytest.fail(f"process hung after signal; output:\n{out}")
+    return out
+
+
+class TestServeShutdown:
+    def start_serve(self, tmp_path):
+        proc = spawn(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--json",
+                "serve.json",
+                "--trace-out",
+                "serve_trace.json",
+            ],
+            cwd=tmp_path,
+        )
+        banner = proc.stdout.readline()
+        assert banner.startswith("serving on "), banner
+        port = int(banner.rsplit(":", 1)[1])
+        return proc, port
+
+    def compile_one(self, port):
+        import urllib.request
+
+        body = json.dumps({"workload": "fig7", "iterations": 40}).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/compile",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return json.load(resp)
+
+    def test_sigterm_flushes_artifacts(self, tmp_path):
+        proc, port = self.start_serve(tmp_path)
+        doc = self.compile_one(port)
+        assert doc["ok"] is True
+
+        proc.send_signal(signal.SIGTERM)
+        out = wait_for(proc)
+        assert proc.returncode == 143, out
+
+        flushed = json.load(open(tmp_path / "serve.json"))
+        assert flushed["interrupted"] is True
+        assert flushed["signal"] == signal.SIGTERM
+        counters = flushed["stats"]["metrics"]["counters"]
+        assert counters["serve.requests"] == 1
+        assert counters["serve.pipeline_runs"] == 1
+
+        trace = json.load(open(tmp_path / "serve_trace.json"))
+        problems = validate_chrome_trace(trace)
+        assert not problems, problems
+        passes = [
+            e for e in trace["traceEvents"] if e.get("cat") == "pass"
+        ]
+        # the request compiled under the tracer before the signal hit
+        assert passes, "flushed trace should contain the request's passes"
+
+    def test_sigint_exits_130_with_flush(self, tmp_path):
+        proc, port = self.start_serve(tmp_path)
+        proc.send_signal(signal.SIGINT)
+        out = wait_for(proc)
+        assert proc.returncode == 130, out
+        flushed = json.load(open(tmp_path / "serve.json"))
+        assert flushed["interrupted"] is True
+        assert flushed["signal"] == signal.SIGINT
+
+
+class TestCampaignShutdown:
+    def test_sigterm_mid_campaign_abandons_pool_and_flushes(self, tmp_path):
+        """SIGTERM during a parallel wave must not hang in pool
+        shutdown, and must still write valid --json/--trace-out."""
+        proc = spawn(
+            [
+                "campaign",
+                "table1",
+                "--workers",
+                "2",
+                "--iterations",
+                "4000",
+                "--json",
+                "campaign.json",
+                "--trace-out",
+                "campaign_trace.json",
+                "--bench",
+                "campaign_bench.json",
+            ],
+            cwd=tmp_path,
+        )
+        time.sleep(2.0)  # let the wave get going
+        proc.send_signal(signal.SIGTERM)
+        t0 = time.time()
+        out = wait_for(proc, timeout=30)
+        if proc.returncode == 0:
+            pytest.skip("campaign finished before the signal landed")
+        assert proc.returncode == 143, out
+        # the pool was abandoned, not joined: exit is prompt
+        assert time.time() - t0 < 20
+
+        flushed = json.load(open(tmp_path / "campaign.json"))
+        assert flushed["interrupted"] is True
+        trace = json.load(open(tmp_path / "campaign_trace.json"))
+        problems = validate_chrome_trace(trace)
+        assert not problems, problems
