@@ -14,7 +14,9 @@ Usage::
     repro-mimd codegen       # Fig. 10-style partitioned code for fig7
     repro-mimd stages fig7   # per-pass pipeline timings, cold vs warm
     repro-mimd campaign table1 --workers 4   # sharded parallel campaign
+    repro-mimd fuzz --loops 2000 --seed 0 --json out.json  # fuzz campaign
     repro-mimd chaos fig7 --seeds 1,2    # fault-injection matrix + self-heal
+    repro-mimd chaos corpus:singleton_self_dep   # chaos on a corpus entry
     repro-mimd profile table1            # run under the tracer, print profile
     repro-mimd serve --port 8642         # compilation-as-a-service daemon
     repro-mimd all           # everything above
@@ -35,6 +37,14 @@ fans cells out over a process pool, ``--shard i/n`` executes one
 shard of the campaign, ``--cache-dir`` shares scheduler results on
 disk across workers and runs, and per-cell observability is written
 to ``BENCH_campaign.json``.
+
+``fuzz`` runs the coverage-guided fuzz campaign (:mod:`repro.fuzz`)
+over the same runner: ``--loops N`` generated cases are checked
+against the differential/invariant oracles, with per-pattern coverage
+counts and minimized failure repros in the report.  The ``--json``
+payload is bit-identical for a given ``(--loops, --seed)`` regardless
+of ``--workers`` or ``--shard`` (pipeline telemetry, which is timing-
+dependent, is deliberately excluded there).
 
 ``serve`` starts the asyncio compile daemon (DESIGN.md §11): POST a
 loop program to ``/compile`` and get the schedule + speedup back;
@@ -417,22 +427,69 @@ def _cmd_campaign(args: argparse.Namespace):
     return payload
 
 
-def _cmd_chaos(args: argparse.Namespace):
-    """Fault matrix sweep + cache self-heal check (`repro-mimd chaos`)."""
-    from repro.chaos import run_cache_selfheal, run_chaos_matrix
-    from repro.report import format_chaos_table
+def _cmd_fuzz(args: argparse.Namespace):
+    """Coverage-guided fuzz campaign (`repro-mimd fuzz --loops N`)."""
+    from repro.fuzz import run_fuzz
+    from repro.report import to_json
+
+    report = run_fuzz(
+        args.loops,
+        seed=args.seed,
+        workers=args.workers or 1,
+        shard=args.shard,
+        cache_dir=args.cache_dir,
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+    )
+    print(report.format())
+    print(f"wall time: {report.stats()['wall_seconds']}s")
+    payload = report.to_dict()
+    if args.json:
+        # Written directly, *without* the pipeline_report telemetry
+        # _export would attach: the fuzz payload's contract is
+        # bit-identity across reruns/workers/shards, and telemetry is
+        # timing-dependent.
+        to_json(payload, args.json)
+        print(f"(wrote {args.json})")
+        args.json = None
+    return payload
+
+
+def _chaos_workload(target: str):
+    """Resolve a chaos target: named workload or ``corpus:<entry>``."""
     from repro.workloads import suite
 
-    target = args.file or "fig7"
+    if target.startswith("corpus:"):
+        from repro.fuzz import load_corpus
+
+        name = target[len("corpus:"):]
+        corpus = load_corpus()
+        if name not in corpus:
+            raise SystemExit(
+                f"chaos: unknown corpus entry {name!r} "
+                f"(entries: {', '.join(sorted(corpus))})"
+            )
+        return corpus[name].workload()
     workloads = suite()
     if target not in workloads:
         raise SystemExit(
             f"chaos: unknown workload {target!r} "
-            f"(named workloads: {', '.join(sorted(workloads))})"
+            f"(named workloads: {', '.join(sorted(workloads))}; "
+            "or corpus:<entry> for a fuzz corpus case)"
         )
+    return workloads[target]
+
+
+def _cmd_chaos(args: argparse.Namespace):
+    """Fault matrix sweep + cache self-heal check (`repro-mimd chaos`)."""
+    from repro.chaos import run_cache_selfheal, run_chaos_matrix
+    from repro.report import format_chaos_table
+
+    target = args.file or "fig7"
+    workload = _chaos_workload(target)
     seeds = _parse_seed_spec(args.seeds) if args.seeds else [1, 2]
     payload = run_chaos_matrix(
-        workloads[target], seeds, iterations=args.iterations
+        workload, seeds, iterations=args.iterations
     )
     print(format_chaos_table(payload))
 
@@ -562,15 +619,16 @@ def main(argv: list[str] | None = None) -> int:
             "all",
             "schedule",
             "campaign",
+            "fuzz",
             "chaos",
             "profile",
             "serve",
         ],
         help="which artifact to regenerate, 'schedule' for a file, "
         "'stages' for per-pass pipeline timings, 'campaign' for the "
-        "sharded parallel runner, 'chaos' for the fault-injection "
-        "matrix, 'profile' to trace a subcommand, or 'serve' for the "
-        "compile daemon",
+        "sharded parallel runner, 'fuzz' for the coverage-guided fuzz "
+        "campaign, 'chaos' for the fault-injection matrix, 'profile' "
+        "to trace a subcommand, or 'serve' for the compile daemon",
     )
     parser.add_argument(
         "file",
@@ -669,6 +727,20 @@ def main(argv: list[str] | None = None) -> int:
         help="where 'campaign' writes per-cell observability "
         "(default BENCH_campaign.json)",
     )
+    fuzz_opts = parser.add_argument_group("fuzz options")
+    fuzz_opts.add_argument(
+        "--loops",
+        type=int,
+        default=1000,
+        help="generated cases for 'fuzz' (default 1000)",
+    )
+    fuzz_opts.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed for 'fuzz'; same seed => bit-identical "
+        "--json report (default 0)",
+    )
     serve_opts = parser.add_argument_group("serve options")
     serve_opts.add_argument(
         "--host",
@@ -704,10 +776,14 @@ def main(argv: list[str] | None = None) -> int:
     profiling = args.experiment == "profile"
     if profiling:
         target = args.file or "fig7"
-        if target not in _COMMANDS and target not in ("campaign", "chaos"):
+        if target not in _COMMANDS and target not in (
+            "campaign",
+            "chaos",
+            "fuzz",
+        ):
             parser.error(
                 f"profile: unknown subcommand {target!r} (choose from "
-                f"{', '.join([*_COMMANDS, 'campaign', 'chaos'])})"
+                f"{', '.join([*_COMMANDS, 'campaign', 'chaos', 'fuzz'])})"
             )
         args.experiment = target
         args.file = None  # the traced subcommand picks its own default
@@ -743,6 +819,8 @@ def main(argv: list[str] | None = None) -> int:
                         payload = _cmd_schedule(args)
                     elif args.experiment == "campaign":
                         payload = _cmd_campaign(args)
+                    elif args.experiment == "fuzz":
+                        payload = _cmd_fuzz(args)
                     elif args.experiment == "chaos":
                         payload = _cmd_chaos(args)
                     elif args.experiment == "serve":

@@ -1,0 +1,332 @@
+"""Sharded fuzz campaigns over the fault-tolerant runner.
+
+A fuzz campaign is a sequence of *cells* (cell kind ``"fuzz"``), each
+responsible for a contiguous range of case indices.  Inside a cell the
+adaptive :class:`~repro.fuzz.generators.WeightedSampler` walks its
+range deterministically: the sampler state and the pattern stream
+depend only on ``(campaign seed, cell start)``, never on worker count,
+sharding, retries or timing — so the merged report is bit-identical
+however the campaign is executed (the same contract the Table 1
+campaign honours).
+
+The deterministic report (:meth:`FuzzReport.to_dict`) carries
+per-pattern coverage counts, the global behaviour-signature set, the
+adaptive weights per cell range, and every oracle failure minimized to
+a canonical repro.  Wall-clock and per-pattern latency live next to
+it (:meth:`FuzzReport.stats`) but deliberately *outside* the
+reproducible payload, and are also published to the process
+:func:`~repro.obs.metrics.registry` as ``fuzz.*`` counters and
+histograms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.fuzz.generators import (
+    PATTERN_NAMES,
+    WeightedSampler,
+    case_rng,
+    generate_case,
+)
+from repro.fuzz.minimize import minimize_case
+from repro.fuzz.oracles import ORACLE_NAMES, failure_predicate, run_oracles
+from repro.obs.metrics import labeled, registry
+
+__all__ = [
+    "FuzzReport",
+    "case_seed",
+    "fuzz_cells",
+    "run_fuzz",
+    "run_fuzz_shard",
+]
+
+#: default cases per cell — small enough to shard/retry cheaply, large
+#: enough that per-cell pool overhead is noise.
+DEFAULT_CHUNK = 250
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    """The per-case generator seed for global case ``index``."""
+    return campaign_seed * 1_000_000_007 + index
+
+
+# ----------------------------------------------------------------------
+# the cell body (runs inside workers)
+# ----------------------------------------------------------------------
+def run_fuzz_shard(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Execute one fuzz cell: cases ``start .. start+count-1``.
+
+    Returns a plain payload whose every key except ``latency`` is a
+    pure function of ``(seed, start, count)``.
+    """
+    seed = int(params["seed"])
+    start = int(params["start"])
+    count = int(params["count"])
+    minimize = bool(params.get("minimize", True))
+
+    sampler = WeightedSampler()
+    pick_rng = case_rng("sampler", case_seed(seed, start))
+    reg = registry()
+    seen: set[str] = set()
+    patterns = {
+        name: {"cases": 0, "new_behaviors": 0, "failures": 0}
+        for name in PATTERN_NAMES
+    }
+    failures: list[dict[str, Any]] = []
+    latency: dict[str, dict[str, float]] = {}
+
+    for index in range(start, start + count):
+        pattern = sampler.pick(pick_rng)
+        case = generate_case(pattern, case_seed(seed, index))
+        t0 = time.perf_counter()
+        outcome = run_oracles(case)
+        elapsed = time.perf_counter() - t0
+
+        novel = outcome.signature not in seen
+        seen.add(outcome.signature)
+        sampler.observe(pattern, novel)
+
+        bucket = patterns[pattern]
+        bucket["cases"] += 1
+        bucket["new_behaviors"] += int(novel)
+        bucket["failures"] += len(outcome.failures)
+
+        lat = latency.setdefault(pattern, {"seconds": 0.0, "max": 0.0})
+        lat["seconds"] += elapsed
+        lat["max"] = max(lat["max"], elapsed)
+        reg.counter(labeled("fuzz.cases", pattern=pattern)).inc()
+        if novel:
+            reg.counter(labeled("fuzz.new_behaviors", pattern=pattern)).inc()
+        reg.histogram(labeled("fuzz.case_seconds", pattern=pattern)).observe(
+            elapsed
+        )
+
+        for f in outcome.failures:
+            reg.counter(labeled("fuzz.failures", oracle=f.oracle)).inc()
+            repro = (
+                minimize_case(case, failure_predicate(f.oracle))
+                if minimize
+                else case
+            )
+            failures.append(
+                {
+                    "oracle": f.oracle,
+                    "message": f.message,
+                    "pattern": pattern,
+                    "index": index,
+                    "case_id": repro.case_id,
+                    "original_case_id": case.case_id,
+                    "case": repro.to_dict(),
+                }
+            )
+
+    return {
+        "start": start,
+        "count": count,
+        "oracle_checks": count * (len(ORACLE_NAMES) - 1),
+        "patterns": patterns,
+        "signatures": sorted(seen),
+        "weights": {
+            name: round(sampler.weights[name], 6) for name in PATTERN_NAMES
+        },
+        "failures": failures,
+        "latency": latency,  # stripped from the deterministic report
+    }
+
+
+# ----------------------------------------------------------------------
+# campaign assembly
+# ----------------------------------------------------------------------
+def fuzz_cells(
+    loops: int, seed: int = 0, *, chunk: int = DEFAULT_CHUNK
+) -> list:
+    """The cell fan-out for a ``loops``-case campaign.
+
+    Cell boundaries depend only on ``(loops, chunk)``, which is what
+    makes the merged report independent of workers/sharding.
+    """
+    from repro.runner.cells import Cell
+
+    if loops < 1:
+        raise ReproError("loops must be >= 1")
+    if chunk < 1:
+        raise ReproError("chunk must be >= 1")
+    return [
+        Cell.make(
+            "fuzz",
+            seed=seed,
+            start=start,
+            count=min(chunk, loops - start),
+        )
+        for start in range(0, loops, chunk)
+    ]
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Deterministic merge of a fuzz campaign's cell payloads."""
+
+    loops: int
+    seed: int
+    chunk: int
+    executed_cells: int
+    failed_cells: tuple[str, ...]
+    oracle_checks: int
+    patterns: dict[str, dict[str, int]]
+    signatures: tuple[str, ...]
+    failures: tuple[dict[str, Any], ...]
+    wall_seconds: float = 0.0
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.failed_cells
+
+    def to_dict(self) -> dict[str, Any]:
+        """The reproducible payload: bit-identical for a given
+        ``(loops, seed, chunk)`` regardless of workers or sharding."""
+        return {
+            "loops": self.loops,
+            "seed": self.seed,
+            "chunk": self.chunk,
+            "executed_cells": self.executed_cells,
+            "failed_cells": list(self.failed_cells),
+            "oracle_checks": self.oracle_checks,
+            "oracles": list(ORACLE_NAMES),
+            "patterns": self.patterns,
+            "coverage": {
+                "behaviors": len(self.signatures),
+                "signatures": list(self.signatures),
+            },
+            "failure_count": len(self.failures),
+            "failures": list(self.failures),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Nondeterministic run stats (kept out of :meth:`to_dict`)."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 3),
+            "latency": self.latency,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz campaign: {self.loops} loops, seed {self.seed}, "
+            f"{self.executed_cells} cells, "
+            f"{self.oracle_checks} oracle checks, "
+            f"{len(self.signatures)} behaviors, "
+            f"{len(self.failures)} failures"
+        ]
+        width = max(len(p) for p in PATTERN_NAMES)
+        for name in PATTERN_NAMES:
+            bucket = self.patterns.get(name, {})
+            cases = bucket.get("cases", 0)
+            lat = self.latency.get(name, {})
+            mean_ms = (
+                1000.0 * lat["seconds"] / cases
+                if cases and lat.get("seconds") is not None
+                else 0.0
+            )
+            lines.append(
+                f"  {name:<{width}}  cases {cases:>6}  "
+                f"new behaviors {bucket.get('new_behaviors', 0):>4}  "
+                f"failures {bucket.get('failures', 0):>3}  "
+                f"mean {mean_ms:6.1f} ms"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"  FAIL {failure['oracle']} on {failure['case_id']}: "
+                f"{failure['message']}"
+            )
+        if self.failed_cells:
+            lines.append(f"  unfinished cells: {list(self.failed_cells)}")
+        return "\n".join(lines)
+
+
+def _merge(payloads: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    patterns = {
+        name: {"cases": 0, "new_behaviors": 0, "failures": 0}
+        for name in PATTERN_NAMES
+    }
+    signatures: set[str] = set()
+    failures: list[dict[str, Any]] = []
+    latency: dict[str, dict[str, float]] = {}
+    checks = 0
+    for payload in payloads:
+        checks += payload["oracle_checks"]
+        for name, bucket in payload["patterns"].items():
+            for key, value in bucket.items():
+                patterns[name][key] += value
+        signatures.update(payload["signatures"])
+        failures.extend(payload["failures"])
+        for name, lat in payload.get("latency", {}).items():
+            slot = latency.setdefault(name, {"seconds": 0.0, "max": 0.0})
+            slot["seconds"] += lat["seconds"]
+            slot["max"] = max(slot["max"], lat["max"])
+    # dedup identical minimized repros (same oracle, same case bits)
+    unique: dict[tuple[str, str], dict[str, Any]] = {}
+    for failure in failures:
+        unique.setdefault((failure["oracle"], failure["case_id"]), failure)
+    return {
+        "patterns": patterns,
+        "signatures": tuple(sorted(signatures)),
+        "failures": tuple(unique.values()),
+        "latency": latency,
+        "oracle_checks": checks,
+    }
+
+
+def run_fuzz(
+    loops: int,
+    *,
+    seed: int = 0,
+    chunk: int = DEFAULT_CHUNK,
+    workers: int = 1,
+    shard: tuple[int, int] | str | None = None,
+    cache_dir: str | None = None,
+    cell_timeout: float | None = None,
+    retries: int = 1,
+    minimize: bool = True,
+) -> FuzzReport:
+    """Run a fuzz campaign and merge it into a :class:`FuzzReport`.
+
+    ``workers``/``shard``/``cell_timeout``/``retries`` behave exactly
+    as in :func:`repro.runner.run_campaign`; the report's
+    :meth:`~FuzzReport.to_dict` payload is invariant under all of them.
+    """
+    from repro.runner.core import run_campaign
+
+    cells = fuzz_cells(loops, seed, chunk=chunk)
+    if not minimize:
+        cells = [
+            type(cell).make("fuzz", minimize=False, **cell.mapping)
+            for cell in cells
+        ]
+    started = time.perf_counter()
+    result = run_campaign(
+        cells,
+        workers=workers,
+        shard=shard,
+        cache_dir=cache_dir,
+        cell_timeout=cell_timeout,
+        retries=retries,
+    )
+    wall = time.perf_counter() - started
+    merged = _merge([r.value for r in result.completed])
+    return FuzzReport(
+        loops=loops,
+        seed=seed,
+        chunk=chunk,
+        executed_cells=len(result.completed),
+        failed_cells=tuple(r.cell.cell_id for r in result.failed_cells),
+        oracle_checks=merged["oracle_checks"],
+        patterns=merged["patterns"],
+        signatures=merged["signatures"],
+        failures=merged["failures"],
+        wall_seconds=wall,
+        latency=merged["latency"],
+    )

@@ -1,0 +1,73 @@
+"""The checked-in seed corpus of minimized edge cases.
+
+Every file under ``tests/corpus/*.json`` is one minimized
+:class:`~repro.fuzz.generators.FuzzCase` plus a human note about why
+it is interesting (a past crasher, a shape that once exposed a bug, a
+degenerate boundary).  ``test_corpus.py`` replays the whole corpus
+through every oracle on each test run, so any fuzz find that gets
+checked in here is pinned forever; the chaos CLI accepts
+``corpus:<name>`` targets to fold entries into the scenario matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.fuzz.generators import FuzzCase
+
+__all__ = ["default_corpus_dir", "load_corpus", "save_case"]
+
+_ENV_VAR = "REPRO_CORPUS_DIR"
+
+
+def default_corpus_dir() -> Path:
+    """``$REPRO_CORPUS_DIR`` or the repo checkout's ``tests/corpus``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def _parse_entry(data: Mapping[str, Any]) -> tuple[FuzzCase, str]:
+    payload = data.get("case", data)
+    return FuzzCase.from_dict(payload), str(data.get("notes", ""))
+
+
+def load_corpus(
+    directory: str | os.PathLike | None = None,
+) -> dict[str, FuzzCase]:
+    """Load every ``*.json`` entry, keyed by file stem (sorted)."""
+    root = Path(directory) if directory is not None else default_corpus_dir()
+    if not root.is_dir():
+        raise ReproError(f"corpus directory {root} does not exist")
+    corpus: dict[str, FuzzCase] = {}
+    for path in sorted(root.glob("*.json")):
+        try:
+            case, _notes = _parse_entry(json.loads(path.read_text()))
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ReproError(f"corpus entry {path.name}: {exc}") from exc
+        corpus[path.stem] = case
+    return corpus
+
+
+def save_case(
+    case: FuzzCase,
+    path: str | os.PathLike,
+    *,
+    notes: str = "",
+) -> Path:
+    """Write one corpus entry; ``path`` may be a directory (the file
+    name is then derived from the case id)."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / (case.case_id.replace("/", "_") + ".json")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    entry = {"notes": notes, "case": case.to_dict()}
+    target.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,523 @@
+"""Weighted generation patterns for the fuzz harness.
+
+Each *pattern* is a family of loop shapes the example-based tests and
+the paper's §4 protocol under-exercise: deep dependence chains, dense
+meshes, self-dependences, disconnected components, extreme (including
+zero) communication costs, multi-statement mini-language bodies,
+conditional (if-converted) bodies, and degenerate one-node loops.
+Multi-statement/irregular bodies follow the loop-fission motivation of
+arXiv 2206.08760: real loops are rarely the single homogeneous
+recurrence the random Table 1 protocol generates.
+
+Everything is driven by ``random.Random`` seeded from a stable blake2b
+hash of ``(pattern, seed)``, so ``generate_case(pattern, seed)`` is
+bit-reproducible across processes, platforms and shard layouts.  A
+:class:`WeightedSampler` picks the next pattern; its weights adapt
+toward patterns that keep producing previously-unseen *behaviour
+signatures* (see :func:`behavior_signature`) — the FTLLexEngine-style
+coverage feedback loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.graph.ddg import DependenceGraph
+from repro.machine.comm import CommModel, FluctuatingComm, UniformComm
+from repro.machine.model import Machine
+
+__all__ = [
+    "PATTERN_NAMES",
+    "FuzzCase",
+    "WeightedSampler",
+    "behavior_signature",
+    "case_rng",
+    "generate_case",
+]
+
+
+# ----------------------------------------------------------------------
+# the case container
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated subject: a graph (or source) plus its machine.
+
+    ``comm`` is a plain serializable mapping (``kind``/``k``/``mm``/
+    ``mode``/``seed``) so a case round-trips through JSON losslessly —
+    the property minimized corpus repros and the campaign's failure
+    payloads rely on.  ``source`` is set for the mini-language patterns
+    (``multi_statement``, ``conditional``); their ``graph`` is the one
+    the front end derived, and the sequential-interpreter oracle runs
+    real arithmetic on the source.
+    """
+
+    pattern: str
+    seed: int
+    graph: DependenceGraph
+    processors: int
+    comm: Mapping[str, Any] = field(
+        default_factory=lambda: {"kind": "uniform", "k": 2}
+    )
+    source: str | None = None
+    if_converted: bool = False
+
+    # ------------------------------------------------------------------
+    def comm_model(self) -> CommModel:
+        c = dict(self.comm)
+        kind = c.get("kind", "uniform")
+        if kind == "uniform":
+            return UniformComm(int(c.get("k", 2)))
+        if kind == "fluct":
+            return FluctuatingComm(
+                k=int(c.get("k", 3)),
+                mm=int(c.get("mm", 1)),
+                mode=str(c.get("mode", "worst")),
+                seed=int(c.get("seed", 0)),
+            )
+        raise ReproError(f"unknown comm kind {kind!r}")
+
+    def machine(self) -> Machine:
+        return Machine(self.processors, self.comm_model())
+
+    def loop(self):
+        """The mini-language AST (if-converted when required)."""
+        if self.source is None:
+            return None
+        from repro.lang.ifconvert import if_convert
+        from repro.lang.parser import parse_loop
+
+        loop = parse_loop(self.source, name=self.graph.name)
+        return if_convert(loop) if self.if_converted else loop
+
+    def workload(self):
+        """Package as a :class:`~repro.workloads.base.Workload` so the
+        chaos matrix (and any workload-driven analysis) can consume
+        fuzz survivors directly."""
+        from repro.workloads.base import Workload
+
+        return Workload(
+            name=self.graph.name,
+            graph=self.graph,
+            machine=self.machine(),
+            loop=self.loop(),
+            notes=f"fuzz case pattern={self.pattern} seed={self.seed}",
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pattern": self.pattern,
+            "seed": self.seed,
+            "name": self.graph.name,
+            "processors": self.processors,
+            "comm": dict(self.comm),
+            "nodes": [
+                [n.name, n.latency] for n in self.graph.nodes.values()
+            ],
+            "edges": [
+                [e.src, e.dst, e.distance, e.comm]
+                for e in self.graph.edges
+            ],
+            "source": self.source,
+            "if_converted": self.if_converted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzCase":
+        g = DependenceGraph(str(data.get("name", "fuzz")))
+        for name, latency in data["nodes"]:
+            g.add_node(str(name), int(latency))
+        for src, dst, distance, comm in data["edges"]:
+            g.add_edge(
+                str(src),
+                str(dst),
+                distance=int(distance),
+                comm=None if comm is None else int(comm),
+            )
+        return cls(
+            pattern=str(data["pattern"]),
+            seed=int(data["seed"]),
+            graph=g,
+            processors=int(data["processors"]),
+            comm=dict(data["comm"]),
+            source=data.get("source"),
+            if_converted=bool(data.get("if_converted", False)),
+        )
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def case_id(self) -> str:
+        digest = hashlib.blake2b(
+            self.canonical_json().encode(), digest_size=6
+        ).hexdigest()
+        return f"{self.pattern}/{digest}"
+
+
+def case_rng(pattern: str, seed: int) -> random.Random:
+    """A deterministic, platform-stable PRNG for one (pattern, seed)."""
+    h = hashlib.blake2b(f"fuzz|{pattern}|{seed}".encode(), digest_size=8)
+    return random.Random(int.from_bytes(h.digest(), "big"))
+
+
+def _add_edge(g: DependenceGraph, src: str, dst: str, **kw) -> None:
+    """Add an edge, silently skipping exact duplicates."""
+    try:
+        g.add_edge(src, dst, **kw)
+    except Exception:
+        pass
+
+
+def _latencies(rng: random.Random, n: int, lo: int = 1, hi: int = 3):
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# graph-shaped patterns
+# ----------------------------------------------------------------------
+def _gen_chain(rng: random.Random, g: DependenceGraph) -> dict[str, Any]:
+    """Deep dependence chain closed by a loop-carried back edge."""
+    n = rng.randint(5, 14)
+    for i, lat in enumerate(_latencies(rng, n)):
+        g.add_node(f"n{i}", lat)
+    for i in range(n - 1):
+        g.add_edge(f"n{i}", f"n{i+1}", distance=0)
+    g.add_edge(f"n{n-1}", "n0", distance=1)
+    for _ in range(rng.randint(0, 2)):  # extra lagging lcds
+        u, v = rng.randint(0, n - 1), rng.randint(0, n - 1)
+        _add_edge(g, f"n{u}", f"n{v}", distance=1)
+    return {
+        "processors": rng.randint(2, 6),
+        "comm": {"kind": "uniform", "k": rng.randint(1, 4)},
+    }
+
+
+def _gen_mesh(rng: random.Random, g: DependenceGraph) -> dict[str, Any]:
+    """Dense dependence mesh: many sds forward, many lcds anywhere."""
+    n = rng.randint(3, 8)
+    for i, lat in enumerate(_latencies(rng, n)):
+        g.add_node(f"n{i}", lat)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.5:
+                g.add_edge(f"n{i}", f"n{j}", distance=0)
+    for i in range(n):
+        for j in range(n):
+            if rng.random() < 0.25:
+                _add_edge(g, f"n{i}", f"n{j}", distance=1)
+    if not any(e.distance == 1 for e in g.edges):
+        g.add_edge(f"n{n-1}", "n0", distance=1)
+    return {
+        "processors": rng.randint(2, 8),
+        "comm": {"kind": "uniform", "k": rng.randint(1, 3)},
+    }
+
+
+def _gen_self_dep(rng: random.Random, g: DependenceGraph) -> dict[str, Any]:
+    """Self-recurrences (distance-1 self edges) on a sparse body."""
+    n = rng.randint(1, 6)
+    for i, lat in enumerate(_latencies(rng, n)):
+        g.add_node(f"n{i}", lat)
+    for i in range(n):
+        if rng.random() < 0.6:
+            g.add_edge(f"n{i}", f"n{i}", distance=1)
+    if not any(e.src == e.dst for e in g.edges):
+        g.add_edge("n0", "n0", distance=1)
+    for i in range(n - 1):
+        if rng.random() < 0.4:
+            g.add_edge(f"n{i}", f"n{i+1}", distance=0)
+    if n > 1 and rng.random() < 0.5:
+        u, v = rng.randint(0, n - 1), rng.randint(0, n - 1)
+        _add_edge(g, f"n{u}", f"n{v}", distance=1)
+    return {
+        "processors": rng.randint(1, 4),
+        "comm": {"kind": "uniform", "k": rng.randint(1, 3)},
+    }
+
+
+def _gen_components(rng: random.Random, g: DependenceGraph) -> dict[str, Any]:
+    """Disconnected components with (usually) different steady rates."""
+    parts = rng.randint(2, 4)
+    idx = 0
+    for _p in range(parts):
+        size = rng.randint(1, 5)
+        names = []
+        for _ in range(size):
+            name = f"n{idx}"
+            g.add_node(name, rng.randint(1, 3))
+            names.append(name)
+            idx += 1
+        if size == 1:
+            if rng.random() < 0.7:  # self-recurrence; else a free node
+                g.add_edge(names[0], names[0], distance=1)
+            continue
+        for a, b in zip(names, names[1:]):
+            g.add_edge(a, b, distance=0)
+        g.add_edge(names[-1], names[0], distance=1)
+    return {
+        "processors": rng.randint(2, 8),
+        "comm": {"kind": "uniform", "k": rng.randint(1, 3)},
+    }
+
+
+_EXTREME_COSTS = (0, 0, 1, 2, 8, 16)
+
+
+def _gen_extreme_comm(rng: random.Random, g: DependenceGraph) -> dict[str, Any]:
+    """Per-edge communication overrides at both extremes (0 and 16)."""
+    n = rng.randint(3, 8)
+    for i, lat in enumerate(_latencies(rng, n)):
+        g.add_node(f"n{i}", lat)
+
+    def cost() -> int:
+        return rng.choice(_EXTREME_COSTS)
+
+    for i in range(n - 1):
+        g.add_edge(f"n{i}", f"n{i+1}", distance=0, comm=cost())
+    g.add_edge(f"n{n-1}", "n0", distance=1, comm=cost())
+    for _ in range(rng.randint(0, n)):
+        u, v = rng.randint(0, n - 1), rng.randint(0, n - 1)
+        d = 0 if u < v else 1
+        _add_edge(g, f"n{u}", f"n{v}", distance=d, comm=cost())
+    return {
+        "processors": rng.randint(2, 6),
+        "comm": {"kind": "uniform", "k": rng.randint(1, 3)},
+    }
+
+
+def _gen_singleton(rng: random.Random, g: DependenceGraph) -> dict[str, Any]:
+    """Degenerate loops: one node (self-recurrent or free), or a
+    recurrent node next to an isolated one."""
+    shape = rng.randint(0, 2)
+    g.add_node("n0", rng.randint(1, 3))
+    if shape == 0:  # single self-recurrence
+        g.add_edge("n0", "n0", distance=1)
+    elif shape == 1:  # single free node (DOALL)
+        pass
+    else:  # self-recurrence plus an isolated node
+        g.add_edge("n0", "n0", distance=1)
+        g.add_node("n1", rng.randint(1, 3))
+    return {
+        "processors": rng.randint(1, 4),
+        "comm": {"kind": "uniform", "k": rng.randint(0, 3)},
+    }
+
+
+# ----------------------------------------------------------------------
+# mini-language patterns (multi-statement / conditional bodies)
+# ----------------------------------------------------------------------
+_OPS = ("+", "-", "*")
+
+
+def _ms_source(rng: random.Random) -> str:
+    """A multi-statement body over arrays A0..A{s-1} with at least one
+    recurrence (a statement reading its own array at ``[I-1]``)."""
+    s = rng.randint(3, 8)
+    recur = rng.randint(0, s - 1)
+    lines = ["FOR I = 1 TO N"]
+    for j in range(s):
+        reads: list[str] = []
+        if j == recur:
+            reads.append(f"A{j}[I-1]")
+        for _ in range(rng.randint(1, 2)):
+            src = rng.randint(0, s - 1)
+            if src < j and rng.random() < 0.6:
+                reads.append(f"A{src}[I]")  # distance-0 flow
+            else:
+                reads.append(f"A{src}[I-1]")  # distance-1 flow
+        if rng.random() < 0.3:
+            reads.append("X[I]")  # live-in input array
+        expr = reads[0]
+        for r in reads[1:]:
+            expr = f"{expr} {rng.choice(_OPS)} {r}"
+        if rng.random() < 0.4:
+            expr = f"{expr} + {rng.randint(1, 9)}"
+        lat = rng.randint(1, 3)
+        lines.append(f"  s{j}{{{lat}}}: A{j}[I] = {expr}")
+    lines.append("ENDFOR")
+    return "\n".join(lines)
+
+
+def _cond_source(rng: random.Random) -> str:
+    """A body with a data-dependent IF/ELSE (exercises if-conversion)."""
+    lat_d = rng.randint(1, 3)
+    lat_t = rng.randint(1, 3)
+    lat_e = rng.randint(1, 3)
+    cmp_op = rng.choice((">", "<", ">=", "<="))
+    thr = rng.randint(0, 4)
+    tail = rng.randint(1, 3)
+    lines = [
+        "FOR I = 1 TO N",
+        f"  d{{{lat_d}}}: D[I] = X[I] - A0[I-1]",
+        f"  IF D[I-1] {cmp_op} {thr} THEN",
+        f"    t{{{lat_t}}}: S[I] = D[I] * {rng.randint(2, 5)}",
+        "  ELSE",
+        f"    e{{{lat_e}}}: S[I] = D[I] + {rng.randint(1, 5)}",
+        "  ENDIF",
+        "  a: A0[I] = A0[I-1] + S[I]",
+    ]
+    prev = "A0"
+    for j in range(tail):
+        lat = rng.randint(1, 3)
+        op = rng.choice(_OPS)
+        lines.append(
+            f"  q{j}{{{lat}}}: B{j}[I] = {prev}[I] {op} "
+            f"B{j}[I-1]"
+            if rng.random() < 0.5
+            else f"  q{j}{{{lat}}}: B{j}[I] = {prev}[I] {op} D[I]"
+        )
+        prev = f"B{j}"
+    lines.append("ENDFOR")
+    return "\n".join(lines)
+
+
+def _source_case(
+    rng: random.Random, source: str, *, if_converted: bool, name: str
+) -> tuple[DependenceGraph, dict[str, Any]]:
+    from repro.lang.dependence import build_graph
+    from repro.lang.ifconvert import if_convert
+    from repro.lang.parser import parse_loop
+
+    loop = parse_loop(source, name=name)
+    if if_converted:
+        loop = if_convert(loop)
+    graph = build_graph(loop)
+    graph.name = name
+    return graph, {
+        "processors": rng.randint(2, 6),
+        "comm": {"kind": "uniform", "k": rng.randint(1, 3)},
+        "source": source,
+        "if_converted": if_converted,
+    }
+
+
+# ----------------------------------------------------------------------
+# registry + entry point
+# ----------------------------------------------------------------------
+_GRAPH_PATTERNS: dict[str, Callable[[random.Random, DependenceGraph], dict]] = {
+    "chain": _gen_chain,
+    "mesh": _gen_mesh,
+    "self_dep": _gen_self_dep,
+    "components": _gen_components,
+    "extreme_comm": _gen_extreme_comm,
+    "singleton": _gen_singleton,
+}
+
+PATTERN_NAMES: tuple[str, ...] = (
+    "chain",
+    "mesh",
+    "self_dep",
+    "components",
+    "extreme_comm",
+    "multi_statement",
+    "conditional",
+    "singleton",
+)
+
+
+def generate_case(pattern: str, seed: int) -> FuzzCase:
+    """Generate the (bit-reproducible) case for ``(pattern, seed)``."""
+    if pattern not in PATTERN_NAMES:
+        raise ReproError(
+            f"unknown fuzz pattern {pattern!r} "
+            f"(known: {', '.join(PATTERN_NAMES)})"
+        )
+    rng = case_rng(pattern, seed)
+    name = f"fuzz.{pattern}.{seed}"
+    if pattern == "multi_statement":
+        graph, extra = _source_case(
+            rng, _ms_source(rng), if_converted=False, name=name
+        )
+    elif pattern == "conditional":
+        graph, extra = _source_case(
+            rng, _cond_source(rng), if_converted=True, name=name
+        )
+    else:
+        graph = DependenceGraph(name)
+        extra = _GRAPH_PATTERNS[pattern](rng, graph)
+    graph.validate()
+    return FuzzCase(pattern=pattern, seed=seed, graph=graph, **extra)
+
+
+# ----------------------------------------------------------------------
+# coverage feedback
+# ----------------------------------------------------------------------
+def behavior_signature(case: FuzzCase, scheduled, error: str | None = None) -> str:
+    """A coarse bucket of "what the compiler did" with one case.
+
+    Two cases share a signature when they drove the scheduler through
+    the same structural outcome: same per-component shape (pattern
+    period/shift/processors or DOALL), same classification split, same
+    failure type.  New signatures are what the weighted sampler calls
+    *new behavior*.
+    """
+    if error is not None:
+        return f"{case.pattern}|error={error}"
+    parts = getattr(scheduled, "parts", None)
+    parts = list(parts) if parts is not None else [scheduled]
+    chunks = []
+    for p in parts:
+        c = p.classification
+        split = f"{len(c.flow_in)}/{len(c.cyclic)}/{len(c.flow_out)}"
+        if p.pattern is None:
+            chunks.append(f"doall[{split}]p{p.machine.processors}")
+        else:
+            pat = p.pattern
+            chunks.append(
+                f"pat[{split}]{pat.period}/{pat.iter_shift}"
+                f"@{len(pat.used_processors())}"
+                + ("+fold" if p.plan and p.plan.fold_into is not None else "")
+            )
+    return f"{case.pattern}|" + ",".join(sorted(chunks))
+
+
+class WeightedSampler:
+    """Adaptive per-pattern weights over :data:`PATTERN_NAMES`.
+
+    Every pattern starts at weight 1.  A draw that produced a
+    previously-unseen behaviour signature multiplies its pattern's
+    weight by ``boost`` (capped); a draw that produced nothing new
+    decays it (floored), so the stream drifts toward pattern families
+    still uncovering behaviour without ever starving one completely.
+    Fully deterministic given the rng and the observation sequence.
+    """
+
+    def __init__(
+        self,
+        patterns: tuple[str, ...] = PATTERN_NAMES,
+        *,
+        boost: float = 1.25,
+        decay: float = 0.95,
+        floor: float = 0.2,
+        cap: float = 6.0,
+    ) -> None:
+        self.patterns = tuple(patterns)
+        self.weights: dict[str, float] = {p: 1.0 for p in self.patterns}
+        self.boost, self.decay = boost, decay
+        self.floor, self.cap = floor, cap
+
+    def pick(self, rng: random.Random) -> str:
+        total = sum(self.weights[p] for p in self.patterns)
+        x = rng.random() * total
+        acc = 0.0
+        for p in self.patterns:
+            acc += self.weights[p]
+            if x < acc:
+                return p
+        return self.patterns[-1]  # pragma: no cover - float edge
+
+    def observe(self, pattern: str, novel: bool) -> None:
+        w = self.weights[pattern]
+        if novel:
+            self.weights[pattern] = min(self.cap, w * self.boost)
+        else:
+            self.weights[pattern] = max(self.floor, w * self.decay)

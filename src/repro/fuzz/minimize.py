@@ -1,0 +1,207 @@
+"""Greedy minimization of failing fuzz cases into canonical repros.
+
+``minimize_case(case, fails)`` shrinks ``case`` while the predicate
+``fails`` keeps returning ``True`` (the predicate is typically
+:func:`repro.fuzz.oracles.failure_predicate` for the oracle that
+fired, so the minimized repro provably still fails the *same* check):
+
+* mini-language cases first drop whole statements (an ``IF``/``ENDIF``
+  block counts as one deletable chunk), regenerating the dependence
+  graph through the real front end after every deletion so graph and
+  source never diverge;
+* if the failure survives without the source at all, the source is
+  dropped and the case continues as a bare graph;
+* bare graphs greedily delete edges, then nodes, to a fixpoint — each
+  accepted deletion strictly shrinks the case, so termination is
+  structural;
+* finally the node names are canonicalized to ``n0..nK`` (graphs
+  only); the rename is kept only if the failure still reproduces,
+  because hash-semantics dataflow values — and therefore some
+  failures — depend on node names.
+
+Every candidate evaluation recompiles the case, so the total number of
+predicate calls is capped (``max_checks``); hitting the cap simply
+returns the best case found so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List
+
+from repro.fuzz.generators import FuzzCase
+from repro.graph.ddg import DependenceGraph
+
+__all__ = ["minimize_case"]
+
+
+# ----------------------------------------------------------------------
+# graph surgery
+# ----------------------------------------------------------------------
+def _rebuild(
+    case: FuzzCase,
+    *,
+    drop_edge: int | None = None,
+    drop_node: str | None = None,
+    rename: dict[str, str] | None = None,
+) -> FuzzCase:
+    g = case.graph
+    name_of = rename or {}
+    h = DependenceGraph(g.name)
+    for node in g.nodes.values():
+        if node.name == drop_node:
+            continue
+        h.add_node(name_of.get(node.name, node.name), node.latency, node.label)
+    for i, e in enumerate(g.edges):
+        if i == drop_edge or drop_node in (e.src, e.dst):
+            continue
+        h.add_edge(
+            name_of.get(e.src, e.src),
+            name_of.get(e.dst, e.dst),
+            e.distance,
+            e.comm,
+            e.kind,
+        )
+    h.validate()
+    return replace(case, graph=h)
+
+
+def _shrink_graph(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    improved = True
+    while improved:
+        improved = False
+        for idx in range(len(case.graph.edges)):
+            try:
+                candidate = _rebuild(case, drop_edge=idx)
+            except Exception:
+                continue
+            if check(candidate):
+                case, improved = candidate, True
+                break
+        if improved:
+            continue
+        if len(case.graph) > 1:
+            for node in list(case.graph.nodes):
+                try:
+                    candidate = _rebuild(case, drop_node=node)
+                except Exception:
+                    continue
+                if check(candidate):
+                    case, improved = candidate, True
+                    break
+    return case
+
+
+def _canonical_rename(case: FuzzCase) -> FuzzCase | None:
+    mapping = {n: f"n{i}" for i, n in enumerate(case.graph.nodes)}
+    if all(old == new for old, new in mapping.items()):
+        return None
+    try:
+        return _rebuild(case, rename=mapping)
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# source surgery
+# ----------------------------------------------------------------------
+def _source_chunks(source: str) -> tuple[str, List[List[str]], str]:
+    """Split a loop body into deletable chunks (IF blocks are atomic)."""
+    lines = source.splitlines()
+    header, footer = lines[0], lines[-1]
+    body = lines[1:-1]
+    chunks: List[List[str]] = []
+    i = 0
+    while i < len(body):
+        if body[i].strip().startswith("IF "):
+            j = i
+            while not body[j].strip().startswith("ENDIF"):
+                j += 1
+            chunks.append(body[i : j + 1])
+            i = j + 1
+        else:
+            chunks.append([body[i]])
+            i += 1
+    return header, chunks, footer
+
+
+def _case_from_source(case: FuzzCase, source: str) -> FuzzCase:
+    from repro.lang.dependence import build_graph
+    from repro.lang.ifconvert import if_convert
+    from repro.lang.parser import parse_loop
+
+    loop = parse_loop(source, name=case.graph.name)
+    if case.if_converted:
+        loop = if_convert(loop)
+    graph = build_graph(loop)
+    graph.name = case.graph.name
+    graph.validate()
+    return replace(case, graph=graph, source=source)
+
+
+def _shrink_source(
+    case: FuzzCase, check: Callable[[FuzzCase], bool]
+) -> FuzzCase:
+    improved = True
+    while improved:
+        improved = False
+        assert case.source is not None
+        header, chunks, footer = _source_chunks(case.source)
+        if len(chunks) <= 1:
+            break
+        for k in range(len(chunks)):
+            kept = [ln for j, c in enumerate(chunks) if j != k for ln in c]
+            source = "\n".join([header, *kept, footer])
+            try:
+                candidate = _case_from_source(case, source)
+            except Exception:
+                continue
+            if check(candidate):
+                case, improved = candidate, True
+                break
+    return case
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def minimize_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool],
+    *,
+    max_checks: int = 200,
+) -> FuzzCase:
+    """Shrink ``case`` while ``fails(case)`` stays ``True``.
+
+    Returns the original case unchanged when it does not fail the
+    predicate (nothing to minimize) or the check budget is exhausted
+    immediately.
+    """
+    budget = [max_checks]
+
+    def check(candidate: FuzzCase) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return bool(fails(candidate))
+        except Exception:
+            return False
+
+    if not check(case):
+        return case
+
+    if case.source is not None:
+        case = _shrink_source(case, check)
+        bare = replace(case, source=None, if_converted=False)
+        if check(bare):
+            case = bare
+
+    if case.source is None:
+        case = _shrink_graph(case, check)
+        renamed = _canonical_rename(case)
+        if renamed is not None and check(renamed):
+            case = renamed
+    return case

@@ -180,6 +180,14 @@ def _run_sweep_cell(p: Mapping[str, Any]) -> dict[str, Any]:
     return _measure_payload(measure(w, p["iterations"]))
 
 
+@register_cell_kind("fuzz")
+def _run_fuzz_cell(p: Mapping[str, Any]) -> dict[str, Any]:
+    """One contiguous range of fuzz cases (see ``repro.fuzz.campaign``)."""
+    from repro.fuzz.campaign import run_fuzz_shard
+
+    return run_fuzz_shard(p)
+
+
 @register_cell_kind("_selftest")
 def _run_selftest_cell(p: Mapping[str, Any]) -> dict[str, Any]:
     """Fault-injection kind used by tests and the CI smoke.

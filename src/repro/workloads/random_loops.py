@@ -68,10 +68,23 @@ def random_loop(
     max_latency: int = 3,
     sd_span: int = _SD_SPAN,
     lcd_span: int = _LCD_SPAN,
+    edge_comm: int | None = None,
 ) -> DependenceGraph:
-    """Generate one random loop graph per the §4 protocol."""
-    if nodes < 2:
-        raise ReproError("need at least 2 nodes")
+    """Generate one random loop graph per the §4 protocol.
+
+    Degenerate shapes are handled here, not by callers: ``nodes=1`` is
+    valid (with ``sds=0`` and at most one lcd, which is necessarily the
+    self-recurrence ``n0 -> n0``), and impossible edge budgets raise
+    :class:`~repro.errors.ReproError` up front instead of looping
+    forever.  ``edge_comm`` stamps every generated edge with an
+    explicit per-edge communication cost — ``0`` is legal and means
+    genuinely free edges, consistently for sds and lcds alike (``None``
+    keeps the machine model's default).
+    """
+    if nodes < 1:
+        raise ReproError("need at least 1 node")
+    if edge_comm is not None and edge_comm < 0:
+        raise ReproError(f"edge_comm must be >= 0, got {edge_comm}")
     if sds > nodes * (nodes - 1) // 2:
         raise ReproError(f"cannot place {sds} distinct sds on {nodes} nodes")
     if lcds > nodes * (min(lcd_span, nodes - 1) + 1):
@@ -94,9 +107,10 @@ def random_loop(
         v = max(u - int(rng.integers(0, lcd_span + 1)), 0)
         chosen_lcd.add((u, v))
     for a, b in sorted(chosen_sd):
-        g.add_edge(names[a], names[b], distance=0)
+        g.add_edge(names[a], names[b], distance=0, comm=edge_comm)
     for a, b in sorted(chosen_lcd):
-        g.add_edge(names[a], names[b], distance=1)
+        g.add_edge(names[a], names[b], distance=1, comm=edge_comm)
+    g.validate()
     return g
 
 

@@ -163,3 +163,22 @@ def connected_cyclic_graphs(draw, max_nodes: int = 6, max_latency: int = 3):
         except Exception:
             pass
     return g
+
+
+@st.composite
+def fuzz_cases(draw, max_seed: int = 5000):
+    """Loop configurations drawn through the fuzz generator families
+    (:mod:`repro.fuzz.generators`) — the same weighted pattern space
+    the coverage-guided campaign explores, exposed as a hypothesis
+    strategy so property tests range over deep chains, dense meshes,
+    self-recurrences, disconnected components, extreme/zero comm
+    costs, mini-language bodies and degenerate 1-node loops.
+
+    Shrinking happens over ``(pattern, seed)``: a failing example
+    reports the exact reproducible case id.
+    """
+    from repro.fuzz.generators import PATTERN_NAMES, generate_case
+
+    pattern = draw(st.sampled_from(PATTERN_NAMES))
+    seed = draw(st.integers(0, max_seed))
+    return generate_case(pattern, seed)

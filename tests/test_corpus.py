@@ -1,0 +1,112 @@
+"""Replay of the checked-in fuzz corpus (tests/corpus/*.json).
+
+Every corpus entry is a minimized edge case or a past crasher; this
+module replays each one through *all* fuzz oracles on every test run,
+so anything that ever gets checked in here is pinned permanently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus, save_case
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracles import run_oracles
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+corpus = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The ISSUE demands at least 5 minimized entries."""
+    assert len(corpus) >= 5
+
+
+@pytest.mark.parametrize("name", sorted(corpus))
+def test_corpus_entry_passes_all_oracles(name):
+    outcome = run_oracles(corpus[name])
+    assert outcome.ok, [
+        f"{f.oracle}: {f.message}" for f in outcome.failures
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(corpus))
+def test_corpus_entry_round_trips(name):
+    case = corpus[name]
+    again = FuzzCase.from_dict(case.to_dict())
+    assert again.canonical_json() == case.canonical_json()
+    assert again.case_id == case.case_id
+
+
+@pytest.mark.parametrize("name", sorted(corpus))
+def test_corpus_entry_builds_chaos_workload(name):
+    """Survivors fold into the chaos matrix as plain Workloads."""
+    w = corpus[name].workload()
+    assert len(w.graph) >= 1
+    w.machine.comm.compile_cost  # a real CommModel, not a stub
+
+
+def test_corpus_files_carry_notes():
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        data = json.loads(path.read_text())
+        assert data.get("notes"), f"{path.name} has no notes"
+        assert "case" in data
+
+
+def test_corpus_source_cases_match_their_graphs():
+    """For mini-language entries the stored graph must be exactly what
+    the front end derives from the stored source."""
+    from repro.lang.dependence import build_graph
+
+    for name, case in corpus.items():
+        if case.source is None:
+            continue
+        loop = case.loop()
+        fresh = build_graph(loop)
+        assert sorted(fresh.node_names()) == sorted(
+            case.graph.node_names()
+        ), name
+        assert sorted(
+            (e.src, e.dst, e.distance) for e in fresh.edges
+        ) == sorted(
+            (e.src, e.dst, e.distance) for e in case.graph.edges
+        ), name
+
+
+def test_save_case_round_trips(tmp_path):
+    case = corpus[sorted(corpus)[0]]
+    written = save_case(case, tmp_path, notes="round trip")
+    loaded = load_corpus(tmp_path)
+    assert list(loaded) == [written.stem]
+    assert loaded[written.stem].canonical_json() == case.canonical_json()
+
+
+def test_chaos_cli_accepts_corpus_targets(tmp_path, capsys):
+    from repro.cli import main
+
+    rc = main(
+        [
+            "chaos",
+            "corpus:singleton_self_dep",
+            "--seeds",
+            "1",
+            "--iterations",
+            "12",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "corpus.singleton_self_dep" in out
+
+
+def test_chaos_cli_rejects_unknown_corpus_entry():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="unknown corpus entry"):
+        main(["chaos", "corpus:no_such_entry"])

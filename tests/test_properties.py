@@ -26,7 +26,7 @@ from repro.metrics import sequential_time
 from repro.sim.engine import simulate
 from repro.sim.fastpath import evaluate, evaluate_trace
 
-from tests.conftest import connected_cyclic_graphs, loop_graphs
+from tests.conftest import connected_cyclic_graphs, fuzz_cases, loop_graphs
 
 
 class TestSchedulerPipeline:
@@ -177,6 +177,52 @@ class TestClassificationScheduling:
                 par
                 <= math.ceil(n / m.processors) * g.total_latency()
             )
+
+
+class TestFuzzGeneratedCases:
+    """The same properties, ranged over the fuzz generator families.
+
+    ``fuzz_cases()`` draws from :mod:`repro.fuzz.generators` — deep
+    chains, dense meshes, self-recurrences, disconnected components,
+    extreme/zero comm costs, mini-language bodies and 1-node loops —
+    so hypothesis explores the exact pattern space the coverage-guided
+    campaign does, and a failing example shrinks to a reproducible
+    ``(pattern, seed)`` pair."""
+
+    @given(fuzz_cases())
+    @settings(max_examples=25)
+    def test_programs_complete_for_fuzz_cases(self, case):
+        s = schedule_loop(case.graph, case.machine())
+        n = 5
+        prog = s.program(n)
+        ops = sorted(op for row in prog for op in row)
+        assert ops == sorted(case.graph.instances(n))
+
+    @given(fuzz_cases())
+    @settings(max_examples=25)
+    def test_engines_agree_on_fuzz_cases(self, case):
+        g = case.graph
+        m = Machine(
+            case.processors,
+            FluctuatingComm(k=2, mm=3, mode="uniform", seed=5),
+        )
+        s = schedule_loop(g, m)
+        prog = s.program(5)
+        fast = evaluate(g, prog, m.comm, use_runtime=True)
+        slow = simulate(g, prog, m.comm, use_runtime=True)
+        assert fast.makespan() == slow.schedule.makespan()
+        for op in fast.ops():
+            assert fast.start(op) == slow.schedule.start(op)
+
+    @given(fuzz_cases(max_seed=2000))
+    @settings(max_examples=15)
+    def test_full_oracle_battery_holds(self, case):
+        from repro.fuzz.oracles import run_oracles
+
+        outcome = run_oracles(case)
+        assert outcome.ok, [
+            f"{f.oracle}: {f.message}" for f in outcome.failures
+        ]
 
 
 class TestDeadlockTraceExport:

@@ -106,9 +106,43 @@ class TestRandomLoops:
 
     def test_parameter_validation(self):
         with pytest.raises(ReproError):
-            random_loop(1, nodes=1)
+            random_loop(1, nodes=1)  # default sds cannot fit
         with pytest.raises(ReproError):
             random_loop(1, nodes=3, sds=50)
+
+    def test_single_node_with_self_dep(self):
+        g = random_loop(1, nodes=1, sds=0, lcds=1)
+        assert g.node_names() == ["n0"]
+        assert [(e.src, e.dst, e.distance) for e in g.edges] == [
+            ("n0", "n0", 1)
+        ]
+        g.validate()
+
+    def test_single_free_node(self):
+        g = random_loop(1, nodes=1, sds=0, lcds=0)
+        assert g.node_names() == ["n0"] and not g.edges
+        g.validate()
+
+    def test_degenerate_budgets_rejected_up_front(self):
+        with pytest.raises(ReproError):
+            random_loop(1, nodes=0)
+        with pytest.raises(ReproError):
+            random_loop(1, nodes=1, sds=1, lcds=0)
+        with pytest.raises(ReproError):  # only (n0, n0) exists
+            random_loop(1, nodes=1, sds=0, lcds=2)
+
+    def test_zero_cost_edges_stamped_consistently(self):
+        g = random_loop(2, nodes=5, sds=4, lcds=3, edge_comm=0)
+        assert len(g.edges) == 7
+        assert all(e.comm == 0 for e in g.edges)
+
+    def test_edge_comm_default_and_validation(self):
+        assert all(
+            e.comm is None
+            for e in random_loop(2, nodes=5, sds=4, lcds=3).edges
+        )
+        with pytest.raises(ReproError):
+            random_loop(1, edge_comm=-1)
 
     def test_cyclic_subject_nonempty_and_cyclic(self):
         for seed in paper_seeds():
