@@ -8,6 +8,7 @@ from repro.core.cyclic import (
     CyclicStats,
     schedule_cyclic,
 )
+from repro.core.cyclic_reference import schedule_cyclic_reference
 from repro.core.flowio import NonCyclicPlan, kernel_idle, plan_noncyclic
 from repro.core.normalized import NormalizedSchedule, schedule_any_loop
 from repro.core.patterns import Pattern
@@ -37,5 +38,6 @@ __all__ = [
     "plan_noncyclic",
     "schedule_any_loop",
     "schedule_cyclic",
+    "schedule_cyclic_reference",
     "schedule_loop",
 ]

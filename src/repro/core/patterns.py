@@ -24,7 +24,7 @@ schedule for any iteration count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro._types import Op
 from repro.core.schedule import Placement, Schedule
@@ -190,6 +190,39 @@ class Pattern:
                     f"prelude iterations of {n!r} are "
                     f"{sorted(prelude_by_node[n])}, expected {holes}"
                 )
+
+    def with_nodes(self, mapping: Mapping[str, str]) -> "Pattern":
+        """The same pattern with node names translated via ``mapping``.
+
+        Placements are re-sorted, so the result is exactly the pattern
+        the scheduler would have produced for the renamed graph (tuple
+        order participates in ``Pattern`` equality, and a rename can
+        reorder name-tied placements).  The scheduler's cross-graph
+        memo uses this to store one canonical pattern per structural
+        graph and remap it to each caller's node names.
+        """
+
+        def rename(ps: tuple[Placement, ...]) -> tuple[Placement, ...]:
+            return tuple(
+                sorted(
+                    Placement(
+                        p.start,
+                        p.proc,
+                        Op(mapping[p.op.node], p.op.iteration),
+                        p.latency,
+                    )
+                    for p in ps
+                )
+            )
+
+        return Pattern(
+            start=self.start,
+            period=self.period,
+            iter_shift=self.iter_shift,
+            prelude=rename(self.prelude),
+            kernel=rename(self.kernel),
+            processors=self.processors,
+        )
 
     def expand(self, iterations: int) -> Schedule:
         """Unroll the pattern into a complete schedule for ``[0, N)``.

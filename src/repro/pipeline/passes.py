@@ -248,9 +248,13 @@ class CyclicSchedPass(Pass):
 
     def run(self, ctx: CompilationContext, out: PassOutput) -> None:
         from repro.core.cyclic import schedule_cyclic
+        from repro.obs.metrics import registry
+        from repro.obs.tracer import current_tracer
 
         results = []
         instances = windows = unrollings = 0
+        memo_hits = rows_rolled = 0
+        detect_seconds = total_seconds = 0.0
         periods = []
         for g, cls in ctx.get("components"):
             if cls.is_doall:
@@ -268,12 +272,29 @@ class CyclicSchedPass(Pass):
             instances += result.stats.instances_scheduled
             windows += result.stats.windows_hashed
             unrollings += result.stats.unrollings
+            memo_hits += result.stats.memo_hits
+            rows_rolled += result.stats.rows_rolled
+            detect_seconds += result.stats.detect_seconds
+            total_seconds += result.stats.total_seconds
             periods.append(result.pattern.period)
+        detect_share = (
+            round(detect_seconds / total_seconds, 4) if total_seconds else 0.0
+        )
         out.artifacts["cyclic_results"] = tuple(results)
         out.counters["instances_scheduled"] = instances
         out.counters["windows_hashed"] = windows
         out.counters["unrollings"] = unrollings
+        out.counters["memo_hits"] = memo_hits
+        out.counters["rows_rolled"] = rows_rolled
+        out.counters["detect_share"] = detect_share
         out.counters["pattern_periods"] = tuple(periods)
+        if current_tracer().enabled:
+            reg = registry()
+            reg.counter("scheduler.instances_scheduled").inc(instances)
+            reg.counter("scheduler.memo_hits").inc(memo_hits)
+            reg.counter("scheduler.rows_rolled").inc(rows_rolled)
+            reg.counter("scheduler.windows_hashed").inc(windows)
+            reg.gauge("scheduler.detect_share").set(detect_share)
 
 
 @dataclass

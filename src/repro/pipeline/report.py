@@ -19,6 +19,16 @@ from repro.obs.metrics import summarize
 #: for stable p50/p95/p99 while keeping ``--json`` exports bounded.
 _MAX_SAMPLES = 256
 
+#: CyclicSchedPass counters summed into the aggregate's "scheduler"
+#: block (DESIGN.md §13) so campaign/CLI reports expose fastpath
+#: behaviour without digging through per-run pass records.
+_SCHEDULER_COUNTERS = (
+    "instances_scheduled",
+    "windows_hashed",
+    "memo_hits",
+    "rows_rolled",
+)
+
 
 def _pass_histogram(samples: Sequence[float]) -> dict[str, float]:
     """Rounded latency summary of one pass's per-run seconds."""
@@ -145,6 +155,7 @@ def aggregate_reports(
     """
     reports = list(reports)
     per_pass: dict[str, dict[str, Any]] = {}
+    scheduler: dict[str, int] = {}
     warnings: list[str] = []
     seen: set[str] = set()
     for rep in reports:
@@ -158,6 +169,11 @@ def aggregate_reports(
             slot["seconds"] += r.seconds
             if len(slot["samples"]) < _MAX_SAMPLES:
                 slot["samples"].append(round(r.seconds, 6))
+            if r.name == "CyclicSchedPass":
+                for key in _SCHEDULER_COUNTERS:
+                    v = r.counters.get(key)
+                    if isinstance(v, int):
+                        scheduler[key] = scheduler.get(key, 0) + v
         for d in rep.diagnostics:
             if d.severity == "warning" and str(d) not in seen:
                 seen.add(str(d))
@@ -170,6 +186,7 @@ def aggregate_reports(
         "total_seconds": round(sum(r.total_seconds for r in reports), 6),
         "cache_hits": sum(r.cache_hits for r in reports),
         "passes": per_pass,
+        "scheduler": scheduler,
         "warnings": warnings,
     }
 
@@ -188,6 +205,7 @@ def merge_aggregated(summaries: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         "total_seconds": 0.0,
         "cache_hits": 0,
         "passes": {},
+        "scheduler": {},
         "warnings": [],
     }
     seen: set[str] = set()
@@ -195,6 +213,9 @@ def merge_aggregated(summaries: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
         merged["pipelines"] += s.get("pipelines", 0)
         merged["total_seconds"] += s.get("total_seconds", 0.0)
         merged["cache_hits"] += s.get("cache_hits", 0)
+        for key, v in s.get("scheduler", {}).items():
+            if isinstance(v, int):
+                merged["scheduler"][key] = merged["scheduler"].get(key, 0) + v
         for name, slot in s.get("passes", {}).items():
             tgt = merged["passes"].setdefault(
                 name,
