@@ -1,0 +1,56 @@
+"""Write-ahead journal cost: journaled vs bare campaigns, and resume.
+
+The journal buys crash safety with one fsync'd append per completed
+cell; these benchmarks pin (a) that the per-cell overhead stays small
+relative to real cell work, and (b) that a fully-journaled resume —
+the crash-recovery fast path — is dramatically cheaper than
+re-executing, since replayed cells run zero pipeline passes.
+"""
+
+from repro.experiments import table1_cells
+from repro.pipeline import default_cache
+from repro.runner import run_campaign
+
+from benchmarks.conftest import record
+
+SEEDS = [1, 2, 3, 4]
+ITER = 30
+
+
+def _cells():
+    return table1_cells(SEEDS, iterations=ITER)
+
+
+def test_journaled_campaign(benchmark, tmp_path):
+    """Same campaign as the bare serial baseline, plus the journal:
+    the delta against ``test_serial_campaign`` is the fsync cost."""
+    counter = iter(range(1_000_000))
+
+    def run():
+        default_cache().clear()
+        journal_dir = str(tmp_path / f"journal-{next(counter)}")
+        return run_campaign(_cells(), workers=1, journal_dir=journal_dir)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok and result.journal is not None
+    assert len(result.resumed_cells) == 0  # every round starts cold
+    record(benchmark, cells=len(result.results), journaled=True)
+
+
+def test_resumed_campaign(benchmark, tmp_path):
+    """Replay from a complete journal: zero cells executed."""
+    journal_dir = str(tmp_path / "journal")
+    run_campaign(_cells(), workers=1, journal_dir=journal_dir)  # populate
+
+    def run():
+        default_cache().clear()  # simulate a cold-started process
+        return run_campaign(_cells(), workers=1, journal_dir=journal_dir)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.resumed_cells) == len(result.results)
+    assert all(r.pipeline == {} for r in result.results)
+    record(
+        benchmark,
+        cells=len(result.results),
+        resumed=len(result.resumed_cells),
+    )

@@ -30,6 +30,7 @@ from repro.chaos.driver import (
     scenario_plan,
 )
 from repro.chaos.fabric import CommFabric, FaultyFabric, MessagePlan
+from repro.chaos.killresume import run_kill_resume
 from repro.chaos.faults import (
     CacheFaults,
     DelayJitter,
@@ -66,6 +67,7 @@ __all__ = [
     "corrupt_cache_dir",
     "run_cache_selfheal",
     "run_chaos_matrix",
+    "run_kill_resume",
     "run_resilient",
     "scenario_plan",
 ]

@@ -1,0 +1,187 @@
+"""The ``kill:campaign`` chaos scenario: SIGKILL, resume, compare.
+
+Every other chaos scenario injects faults *inside* a live process;
+this one kills the process itself.  :func:`run_kill_resume` launches a
+sharded fuzz campaign as a real ``repro-mimd`` subprocess with a
+write-ahead journal, watches the journal grow (read-only
+:meth:`~repro.runner.journal.CellJournal.scan` probes — never
+truncating under a live writer), SIGKILLs the campaign at a *seeded*
+progress point, resumes it with the same arguments, and byte-compares
+the resumed ``--json`` report against an uninterrupted reference run.
+
+SIGKILL — not SIGTERM — is deliberate: the graceful-shutdown path
+(:mod:`repro.cli`'s ``_Terminated`` unwind) never runs, so the only
+thing standing between the campaign and lost work is the journal's
+fsync-per-record durability.  The seeded kill point
+(``1 + seed % (cells - 1)``) sweeps the interruption across the
+campaign as seeds vary, the same keyed-hash discipline the fault
+matrix uses.
+
+The acceptance bar is the ISSUE's: the resumed report must be
+byte-identical to the uninterrupted one, and the resumed run must
+replay — not re-execute — every journaled cell.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["run_kill_resume"]
+
+_POLL_SECONDS = 0.05
+
+
+def _spawn(args: list[str], cwd: str) -> subprocess.Popen:
+    """A ``repro-mimd`` subprocess importing *this* checkout's repro.
+
+    Runs in its own session so the kill can take out the whole process
+    group: SIGKILLing only the campaign parent would orphan its pool
+    workers, which inherit the stdout pipe and stall ``communicate``.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=cwd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        start_new_session=True,
+    )
+
+
+def _kill_group(proc: subprocess.Popen) -> None:
+    """SIGKILL the subprocess and every worker in its process group."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (OSError, PermissionError):  # pragma: no cover - already gone
+        proc.kill()
+
+
+def run_kill_resume(
+    work_dir: str,
+    *,
+    loops: int = 300,
+    seed: int = 0,
+    chunk: int = 25,
+    workers: int = 2,
+    kill_after: int | None = None,
+    timeout: float = 300.0,
+) -> dict[str, Any]:
+    """SIGKILL a journaled fuzz campaign mid-run, resume, compare.
+
+    Runs three subprocesses under ``work_dir``: the victim (killed at
+    ``kill_after`` journaled cells, default the seeded point), the
+    resume (same arguments, same journal), and an uninterrupted
+    reference (fresh journal).  Returns a payload with the kill point,
+    journal progress at each stage, the resumed-cell count parsed from
+    the resume run, and the byte-identity verdict.
+    """
+    from repro.fuzz.campaign import fuzz_cells
+    from repro.runner.journal import CellJournal, campaign_key
+
+    cells = fuzz_cells(loops, seed, chunk=chunk)
+    total = len(cells)
+    if kill_after is None:
+        kill_after = 1 + seed % max(1, total - 1)
+    kill_after = max(1, min(kill_after, total))
+
+    journal_dir = os.path.join(work_dir, "journal")
+    ref_journal_dir = os.path.join(work_dir, "journal-ref")
+    resumed_json = os.path.join(work_dir, "resumed.json")
+    reference_json = os.path.join(work_dir, "reference.json")
+    common = [
+        "fuzz",
+        "--loops", str(loops),
+        "--seed", str(seed),
+        "--chunk", str(chunk),
+        "--workers", str(workers),
+    ]
+
+    # --- victim: run until kill_after cells are journaled, then SIGKILL
+    victim = _spawn(
+        [*common, "--journal", journal_dir, "--json", resumed_json],
+        cwd=work_dir,
+    )
+    journal = CellJournal.open(journal_dir, campaign_key(cells))
+    deadline = time.monotonic() + timeout
+    killed = False
+    while time.monotonic() < deadline:
+        probe = journal.scan(truncate=False)
+        if probe.records >= kill_after:
+            _kill_group(victim)
+            killed = True
+            break
+        if victim.poll() is not None:
+            break  # finished before the kill point: journal is complete
+        time.sleep(_POLL_SECONDS)
+    else:
+        _kill_group(victim)
+        victim.communicate()
+        raise ReproError(
+            f"kill:campaign: victim never journaled {kill_after} cells "
+            f"within {timeout}s"
+        )
+    victim.communicate(timeout=timeout)
+    records_at_kill = journal.scan(truncate=False).records
+
+    # --- resume: same arguments, same journal
+    resume = _spawn(
+        [*common, "--journal", journal_dir, "--json", resumed_json],
+        cwd=work_dir,
+    )
+    resume_out, _ = resume.communicate(timeout=timeout)
+    if resume.returncode != 0:
+        raise ReproError(
+            f"kill:campaign: resume run exited {resume.returncode}:\n"
+            f"{resume_out}"
+        )
+    resumed_cells = None
+    for line in resume_out.splitlines():
+        if line.startswith("journal:"):
+            # "journal: N journaled cell(s), M resumed"
+            resumed_cells = int(line.split(",")[1].split()[0])
+
+    # --- reference: uninterrupted, fresh journal
+    reference = _spawn(
+        [*common, "--journal", ref_journal_dir, "--json", reference_json],
+        cwd=work_dir,
+    )
+    ref_out, _ = reference.communicate(timeout=timeout)
+    if reference.returncode != 0:
+        raise ReproError(
+            f"kill:campaign: reference run exited {reference.returncode}:\n"
+            f"{ref_out}"
+        )
+
+    with open(resumed_json, "rb") as fh:
+        resumed_bytes = fh.read()
+    with open(reference_json, "rb") as fh:
+        reference_bytes = fh.read()
+
+    return {
+        "scenario": "kill:campaign",
+        "loops": loops,
+        "seed": seed,
+        "chunk": chunk,
+        "workers": workers,
+        "cells": total,
+        "kill_point": kill_after,
+        "killed": killed,
+        "records_at_kill": records_at_kill,
+        "resumed_cells": resumed_cells,
+        "final_records": journal.scan(truncate=False).records,
+        "reports_identical": resumed_bytes == reference_bytes,
+    }

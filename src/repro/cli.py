@@ -17,6 +17,7 @@ Usage::
     repro-mimd fuzz --loops 2000 --seed 0 --json out.json  # fuzz campaign
     repro-mimd chaos fig7 --seeds 1,2    # fault-injection matrix + self-heal
     repro-mimd chaos corpus:singleton_self_dep   # chaos on a corpus entry
+    repro-mimd chaos kill:campaign       # SIGKILL + journal-resume scenario
     repro-mimd profile table1            # run under the tracer, print profile
     repro-mimd serve --port 8642         # compilation-as-a-service daemon
     repro-mimd all           # everything above
@@ -45,6 +46,15 @@ counts and minimized failure repros in the report.  The ``--json``
 payload is bit-identical for a given ``(--loops, --seed)`` regardless
 of ``--workers`` or ``--shard`` (pipeline telemetry, which is timing-
 dependent, is deliberately excluded there).
+
+``--journal DIR`` (on ``campaign`` and ``fuzz``) write-ahead journals
+every completed cell so an interrupted run — SIGKILL included —
+resumes where it stopped (``--no-resume`` re-executes instead); the
+resumed report is byte-identical to an uninterrupted one.  ``fuzz
+--sigstore PATH`` merges each run's behavior signatures into a
+persisted cross-run store and reports which are new *ever*;
+``--promote-dir DIR`` writes minimized oracle-failing repros not yet
+pinned in ``tests/corpus/`` as reviewable corpus entries.
 
 ``serve`` starts the asyncio compile daemon (DESIGN.md §11): POST a
 loop program to ``/compile`` and get the schedule + speedup back;
@@ -396,6 +406,8 @@ def _cmd_campaign(args: argparse.Namespace):
         retries=args.retries,
         retry_backoff=args.retry_backoff,
         shard=args.shard,
+        journal_dir=args.journal,
+        resume=args.resume,
     )
     shard_note = f", shard {args.shard}" if args.shard else ""
     print(
@@ -409,6 +421,11 @@ def _cmd_campaign(args: argparse.Namespace):
         f"  pipeline: {agg['pipelines']} compilations, "
         f"{agg['cache_hits']} pass-level cache hits"
     )
+    if campaign.journal is not None:
+        print(
+            f"  journal: {campaign.journal['records']} journaled "
+            f"cell(s), {len(campaign.resumed_cells)} resumed"
+        )
     for r in campaign.results:
         status = "ok" if r.ok else f"FAILED ({r.error})"
         print(
@@ -435,14 +452,41 @@ def _cmd_fuzz(args: argparse.Namespace):
     report = run_fuzz(
         args.loops,
         seed=args.seed,
+        chunk=args.chunk,
         workers=args.workers or 1,
         shard=args.shard,
         cache_dir=args.cache_dir,
         cell_timeout=args.cell_timeout,
         retries=args.retries,
+        journal_dir=args.journal,
+        resume=args.resume,
     )
     print(report.format())
     print(f"wall time: {report.stats()['wall_seconds']}s")
+    if report.journal is not None:
+        print(
+            f"journal: {report.journal['records']} journaled cell(s), "
+            f"{report.resumed_cells} resumed"
+        )
+    if args.sigstore:
+        from repro.fuzz.sigstore import SignatureStore
+
+        merge = SignatureStore(args.sigstore).merge(report.signatures)
+        print(
+            f"sigstore: {len(merge.new)} behavior(s) never seen before, "
+            f"{merge.known} already known, {merge.total} total ever"
+            + (" (compacted)" if merge.compacted else "")
+        )
+    if args.promote_dir:
+        from repro.fuzz.sigstore import promote_survivors
+
+        promoted = promote_survivors(report, args.promote_dir)
+        print(
+            f"promoted {len(promoted)} new corpus candidate(s) to "
+            f"{args.promote_dir}"
+        )
+        for path in promoted:
+            print(f"  {path}")
     payload = report.to_dict()
     if args.json:
         # Written directly, *without* the pipeline_report telemetry
@@ -475,7 +519,8 @@ def _chaos_workload(target: str):
         raise SystemExit(
             f"chaos: unknown workload {target!r} "
             f"(named workloads: {', '.join(sorted(workloads))}; "
-            "or corpus:<entry> for a fuzz corpus case)"
+            "corpus:<entry> for a fuzz corpus case; or kill:campaign "
+            "for the SIGKILL-and-resume scenario)"
         )
     return workloads[target]
 
@@ -486,6 +531,29 @@ def _cmd_chaos(args: argparse.Namespace):
     from repro.report import format_chaos_table
 
     target = args.file or "fig7"
+    if target == "kill:campaign":
+        import tempfile
+
+        from repro.chaos import run_kill_resume
+
+        seeds = _parse_seed_spec(args.seeds) if args.seeds else [0]
+        with tempfile.TemporaryDirectory(prefix="killresume.") as work:
+            payload = run_kill_resume(
+                work,
+                loops=args.loops,
+                seed=seeds[0],
+                chunk=args.chunk,
+                workers=args.workers or 2,
+            )
+        print(
+            f"kill:campaign: SIGKILLed at {payload['records_at_kill']} of "
+            f"{payload['cells']} journaled cell(s) "
+            f"(seeded kill point {payload['kill_point']}), resumed "
+            f"{payload['resumed_cells']} cell(s), reports identical: "
+            f"{payload['reports_identical']} -> "
+            + ("SURVIVED" if payload["reports_identical"] else "DIVERGED")
+        )
+        return payload
     workload = _chaos_workload(target)
     seeds = _parse_seed_spec(args.seeds) if args.seeds else [1, 2]
     payload = run_chaos_matrix(
@@ -727,6 +795,20 @@ def main(argv: list[str] | None = None) -> int:
         help="where 'campaign' writes per-cell observability "
         "(default BENCH_campaign.json)",
     )
+    campaign_opts.add_argument(
+        "--journal",
+        metavar="DIR",
+        help="write-ahead journal directory for 'campaign'/'fuzz': "
+        "completed cells are durably journaled and an interrupted "
+        "run resumes where it stopped",
+    )
+    campaign_opts.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="replay journaled cells on restart (default on; "
+        "--no-resume re-executes everything, still journaling)",
+    )
     fuzz_opts = parser.add_argument_group("fuzz options")
     fuzz_opts.add_argument(
         "--loops",
@@ -740,6 +822,25 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="campaign seed for 'fuzz'; same seed => bit-identical "
         "--json report (default 0)",
+    )
+    fuzz_opts.add_argument(
+        "--chunk",
+        type=int,
+        default=250,
+        help="cases per fuzz cell (default 250; also the journal/"
+        "resume granularity)",
+    )
+    fuzz_opts.add_argument(
+        "--sigstore",
+        metavar="PATH",
+        help="persisted cross-run signature store: report which "
+        "behaviors are new *ever*, not just new this run",
+    )
+    fuzz_opts.add_argument(
+        "--promote-dir",
+        metavar="DIR",
+        help="auto-promote minimized oracle-failing repros not "
+        "already in tests/corpus/ as reviewable corpus entries",
     )
     serve_opts = parser.add_argument_group("serve options")
     serve_opts.add_argument(

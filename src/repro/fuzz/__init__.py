@@ -36,7 +36,13 @@ from repro.fuzz.campaign import (
     run_fuzz,
     run_fuzz_shard,
 )
-from repro.fuzz.corpus import default_corpus_dir, load_corpus, save_case
+from repro.fuzz.corpus import (
+    CORPUS_VERSION,
+    default_corpus_dir,
+    load_corpus,
+    save_case,
+)
+from repro.fuzz.sigstore import SignatureStore, SigstoreMerge, promote_survivors
 from repro.fuzz.generators import (
     PATTERN_NAMES,
     FuzzCase,
@@ -53,11 +59,14 @@ from repro.fuzz.oracles import (
 )
 
 __all__ = [
+    "CORPUS_VERSION",
     "FuzzCase",
     "FuzzReport",
     "ORACLE_NAMES",
     "OracleFailure",
     "PATTERN_NAMES",
+    "SignatureStore",
+    "SigstoreMerge",
     "WeightedSampler",
     "behavior_signature",
     "default_corpus_dir",
@@ -66,6 +75,7 @@ __all__ = [
     "generate_case",
     "load_corpus",
     "minimize_case",
+    "promote_survivors",
     "run_fuzz",
     "run_fuzz_shard",
     "run_oracles",

@@ -142,12 +142,20 @@ def run_fuzz_shard(params: Mapping[str, Any]) -> dict[str, Any]:
 # campaign assembly
 # ----------------------------------------------------------------------
 def fuzz_cells(
-    loops: int, seed: int = 0, *, chunk: int = DEFAULT_CHUNK
+    loops: int,
+    seed: int = 0,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    minimize: bool = True,
 ) -> list:
     """The cell fan-out for a ``loops``-case campaign.
 
     Cell boundaries depend only on ``(loops, chunk)``, which is what
     makes the merged report independent of workers/sharding.
+    ``minimize=False`` skips failure minimization inside the cells; it
+    is only added to the cell params when off, so the default
+    campaign's cell ids (and therefore its cache keys and journal
+    records) are unchanged.
     """
     from repro.runner.cells import Cell
 
@@ -155,15 +163,17 @@ def fuzz_cells(
         raise ReproError("loops must be >= 1")
     if chunk < 1:
         raise ReproError("chunk must be >= 1")
-    return [
-        Cell.make(
-            "fuzz",
-            seed=seed,
-            start=start,
-            count=min(chunk, loops - start),
-        )
-        for start in range(0, loops, chunk)
-    ]
+    cells = []
+    for start in range(0, loops, chunk):
+        params: dict[str, Any] = {
+            "seed": seed,
+            "start": start,
+            "count": min(chunk, loops - start),
+        }
+        if not minimize:
+            params["minimize"] = False
+        cells.append(Cell.make("fuzz", **params))
+    return cells
 
 
 @dataclass(frozen=True)
@@ -181,6 +191,8 @@ class FuzzReport:
     failures: tuple[dict[str, Any], ...]
     wall_seconds: float = 0.0
     latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    resumed_cells: int = 0  #: cells replayed from the write-ahead journal
+    journal: Mapping[str, Any] | None = None  #: journal stats, if enabled
 
     @property
     def ok(self) -> bool:
@@ -207,10 +219,17 @@ class FuzzReport:
         }
 
     def stats(self) -> dict[str, Any]:
-        """Nondeterministic run stats (kept out of :meth:`to_dict`)."""
+        """Nondeterministic run stats (kept out of :meth:`to_dict`).
+
+        ``resumed_cells``/``journal`` live here, not in the
+        deterministic payload: an interrupted-then-resumed campaign
+        must produce a ``--json`` report byte-identical to an
+        uninterrupted one."""
         return {
             "wall_seconds": round(self.wall_seconds, 3),
             "latency": self.latency,
+            "resumed_cells": self.resumed_cells,
+            "journal": dict(self.journal) if self.journal else None,
         }
 
     def format(self) -> str:
@@ -291,21 +310,21 @@ def run_fuzz(
     cell_timeout: float | None = None,
     retries: int = 1,
     minimize: bool = True,
+    journal_dir: str | None = None,
+    resume: bool = True,
 ) -> FuzzReport:
     """Run a fuzz campaign and merge it into a :class:`FuzzReport`.
 
     ``workers``/``shard``/``cell_timeout``/``retries`` behave exactly
     as in :func:`repro.runner.run_campaign`; the report's
-    :meth:`~FuzzReport.to_dict` payload is invariant under all of them.
+    :meth:`~FuzzReport.to_dict` payload is invariant under all of them
+    — including ``journal_dir``/``resume``, which make an interrupted
+    campaign resumable (journaled cells are replayed, not re-fuzzed,
+    and the merged report stays bit-identical).
     """
     from repro.runner.core import run_campaign
 
-    cells = fuzz_cells(loops, seed, chunk=chunk)
-    if not minimize:
-        cells = [
-            type(cell).make("fuzz", minimize=False, **cell.mapping)
-            for cell in cells
-        ]
+    cells = fuzz_cells(loops, seed, chunk=chunk, minimize=minimize)
     started = time.perf_counter()
     result = run_campaign(
         cells,
@@ -314,6 +333,8 @@ def run_fuzz(
         cache_dir=cache_dir,
         cell_timeout=cell_timeout,
         retries=retries,
+        journal_dir=journal_dir,
+        resume=resume,
     )
     wall = time.perf_counter() - started
     merged = _merge([r.value for r in result.completed])
@@ -329,4 +350,6 @@ def run_fuzz(
         failures=merged["failures"],
         wall_seconds=wall,
         latency=merged["latency"],
+        resumed_cells=len(result.resumed_cells),
+        journal=result.journal,
     )

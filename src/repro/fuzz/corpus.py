@@ -19,9 +19,14 @@ from typing import Any, Mapping
 from repro.errors import ReproError
 from repro.fuzz.generators import FuzzCase
 
-__all__ = ["default_corpus_dir", "load_corpus", "save_case"]
+__all__ = ["CORPUS_VERSION", "default_corpus_dir", "load_corpus", "save_case"]
 
 _ENV_VAR = "REPRO_CORPUS_DIR"
+
+#: Entry schema version; bump on any incompatible entry-shape change.
+CORPUS_VERSION = 1
+
+_ENTRY_FIELDS = {"version", "notes", "case", "provenance"}
 
 
 def default_corpus_dir() -> Path:
@@ -32,9 +37,28 @@ def default_corpus_dir() -> Path:
     return Path(__file__).resolve().parents[3] / "tests" / "corpus"
 
 
-def _parse_entry(data: Mapping[str, Any]) -> tuple[FuzzCase, str]:
-    payload = data.get("case", data)
-    return FuzzCase.from_dict(payload), str(data.get("notes", ""))
+def _parse_entry(data: Mapping[str, Any], name: str) -> tuple[FuzzCase, str]:
+    """Parse one entry, rejecting unknown versions/fields by file name.
+
+    Two shapes are accepted: a structured entry (``case`` key present,
+    strictly validated so auto-promoted entries can't silently drift)
+    and a bare :class:`FuzzCase` dict (legacy hand-written repros).
+    """
+    if "case" not in data:
+        return FuzzCase.from_dict(data), ""
+    version = data.get("version")
+    if version != CORPUS_VERSION:
+        raise ReproError(
+            f"corpus entry {name}: unsupported version {version!r} "
+            f"(this build reads version {CORPUS_VERSION})"
+        )
+    unknown = sorted(set(data) - _ENTRY_FIELDS)
+    if unknown:
+        raise ReproError(
+            f"corpus entry {name}: unknown fields {unknown} "
+            f"(allowed: {sorted(_ENTRY_FIELDS)})"
+        )
+    return FuzzCase.from_dict(data["case"]), str(data.get("notes", ""))
 
 
 def load_corpus(
@@ -47,7 +71,7 @@ def load_corpus(
     corpus: dict[str, FuzzCase] = {}
     for path in sorted(root.glob("*.json")):
         try:
-            case, _notes = _parse_entry(json.loads(path.read_text()))
+            case, _notes = _parse_entry(json.loads(path.read_text()), path.name)
         except ReproError:
             raise
         except Exception as exc:
@@ -61,13 +85,21 @@ def save_case(
     path: str | os.PathLike,
     *,
     notes: str = "",
+    provenance: Mapping[str, Any] | None = None,
 ) -> Path:
     """Write one corpus entry; ``path`` may be a directory (the file
-    name is then derived from the case id)."""
+    name is then derived from the case id).  ``provenance`` records
+    where an auto-promoted entry came from (seed, pattern, oracle …)."""
     target = Path(path)
     if target.is_dir():
         target = target / (case.case_id.replace("/", "_") + ".json")
     target.parent.mkdir(parents=True, exist_ok=True)
-    entry = {"notes": notes, "case": case.to_dict()}
+    entry: dict[str, Any] = {
+        "version": CORPUS_VERSION,
+        "notes": notes,
+        "case": case.to_dict(),
+    }
+    if provenance is not None:
+        entry["provenance"] = dict(provenance)
     target.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
     return target

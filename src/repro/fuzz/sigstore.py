@@ -1,0 +1,214 @@
+"""Cross-run persistence for fuzz behavior signatures.
+
+A single fuzz run already dedups behaviors internally — the report's
+``coverage.signatures`` set answers "new behavior *this run*".  Long
+campaigns want the stronger question: "new behavior *ever*", across
+nightly runs, reseeds and concurrent shards.  :class:`SignatureStore`
+answers it with a tiny persisted set: an append-only file of
+JSON-framed signature strings, merged under an advisory file lock so
+concurrent shards (or a fuzz run racing a chaos soak) never lose
+updates.
+
+The file is append-mostly: a merge appends only the never-seen
+signatures (one durable :func:`~repro.util.io.append_bytes` call).
+Reads tolerate dirt — torn tails from a crash mid-append, blank lines,
+duplicates from a pre-lock race — and any dirt triggers an atomic
+compaction (sorted, unique, rewritten via
+:func:`~repro.util.io.atomic_write_text`) on the next locked merge.
+
+:func:`promote_survivors` closes the fuzz→corpus loop: minimized
+oracle-failing repros whose canonical case is not already pinned in
+``tests/corpus/`` are written to a promotion directory as version-1
+corpus entries with provenance (seed, pattern, oracle, case id), ready
+for human review and check-in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.obs.metrics import registry
+from repro.util.io import append_bytes, atomic_write_text
+
+try:  # advisory locking is POSIX-only; degrade to lockless elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fuzz.campaign import FuzzReport
+
+__all__ = ["SignatureStore", "SigstoreMerge", "promote_survivors"]
+
+
+@dataclass(frozen=True)
+class SigstoreMerge:
+    """Outcome of merging one run's signatures into the store."""
+
+    new: tuple[str, ...]  #: signatures never seen in any prior run
+    known: int  #: incoming signatures the store already held
+    total: int  #: store size after the merge
+    compacted: bool  #: True when dirt forced an atomic rewrite
+
+
+class SignatureStore:
+    """Advisory-locked, append-mostly set of behavior signatures."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = str(path)
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold an exclusive advisory lock on the ``.lock`` sidecar.
+
+        The sidecar (not the store itself) is locked so compaction's
+        rename never swaps the inode a peer is flocked on.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.path + ".lock", "a") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def _read(self) -> tuple[set[str], bool]:
+        """All intact signatures, plus whether the file needs compaction."""
+        try:
+            raw = Path(self.path).read_bytes()
+        except OSError:
+            return set(), False
+        known: set[str] = set()
+        dirty = False
+        if raw and not raw.endswith(b"\n"):
+            dirty = True  # torn tail from a crash mid-append
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            try:
+                sig = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                dirty = True
+                continue
+            if not isinstance(sig, str):
+                dirty = True
+                continue
+            if sig in known:
+                dirty = True  # duplicate from a pre-lock race
+                continue
+            known.add(sig)
+        return known, dirty
+
+    def load(self) -> frozenset[str]:
+        """Every signature ever recorded (read-only, lock-free)."""
+        known, _dirty = self._read()
+        return frozenset(known)
+
+    def merge(self, signatures: Iterable[str]) -> SigstoreMerge:
+        """Record ``signatures``; report which were new *ever*.
+
+        Appends only the never-seen signatures; any dirt found while
+        reading (torn tail, duplicates, unparseable lines) triggers a
+        full atomic compaction instead, so the store self-heals on the
+        next merge after a crash.
+        """
+        incoming = sorted(set(signatures))
+        with self._locked():
+            known, dirty = self._read()
+            new = tuple(s for s in incoming if s not in known)
+            merged = known.union(new)
+            if dirty:
+                atomic_write_text(
+                    self.path,
+                    "".join(json.dumps(s) + "\n" for s in sorted(merged)),
+                )
+                registry().counter("sigstore.compactions").inc()
+            elif new:
+                append_bytes(
+                    self.path,
+                    "".join(json.dumps(s) + "\n" for s in new).encode(),
+                )
+        reg = registry()
+        if new:
+            reg.counter("sigstore.new").inc(len(new))
+        known_count = len(incoming) - len(new)
+        if known_count:
+            reg.counter("sigstore.known").inc(known_count)
+        return SigstoreMerge(
+            new=new,
+            known=known_count,
+            total=len(merged),
+            compacted=dirty,
+        )
+
+    def compact(self) -> int:
+        """Rewrite the store sorted and unique; return its size."""
+        with self._locked():
+            known, _dirty = self._read()
+            atomic_write_text(
+                self.path,
+                "".join(json.dumps(s) + "\n" for s in sorted(known)),
+            )
+        return len(known)
+
+
+def promote_survivors(
+    report: "FuzzReport",
+    promote_dir: str | os.PathLike,
+    *,
+    corpus_dir: str | os.PathLike | None = None,
+) -> list[Path]:
+    """Write novel minimized repros as reviewable corpus entries.
+
+    Every oracle failure in ``report`` carries a minimized canonical
+    repro; the ones whose case is not already pinned in the checked-in
+    corpus (nor already promoted in a prior run) are written under
+    ``promote_dir`` as version-1 entries with provenance.  Returns the
+    paths written this call, in report order.
+    """
+    from repro.fuzz.corpus import default_corpus_dir, load_corpus, save_case
+    from repro.fuzz.generators import FuzzCase
+
+    root = Path(corpus_dir) if corpus_dir is not None else default_corpus_dir()
+    pinned = (
+        {case.case_id for case in load_corpus(root).values()}
+        if root.is_dir()
+        else set()
+    )
+    target = Path(promote_dir)
+    written: list[Path] = []
+    promoted: set[str] = set()
+    for failure in report.failures:
+        case_id = failure["case_id"]
+        if case_id in pinned or case_id in promoted:
+            continue
+        promoted.add(case_id)
+        case = FuzzCase.from_dict(failure["case"])
+        target.mkdir(parents=True, exist_ok=True)
+        written.append(
+            save_case(
+                case,
+                target,
+                notes=(
+                    f"auto-promoted: {failure['oracle']} oracle failure "
+                    f"({failure['message']})"
+                ),
+                provenance={
+                    "seed": report.seed,
+                    "pattern": failure["pattern"],
+                    "oracle": failure["oracle"],
+                    "case_id": case_id,
+                },
+            )
+        )
+        registry().counter("sigstore.promotions").inc()
+    return written

@@ -28,19 +28,25 @@ from repro.runner.core import (
     CampaignResult,
     CellResult,
     backoff_delay,
+    backoff_wave,
     parse_shard,
     run_campaign,
 )
+from repro.runner.journal import CellJournal, campaign_key, journal_filename
 from repro.runner.diskcache import DiskCache, TieredCache
 
 __all__ = [
     "CampaignResult",
     "Cell",
+    "CellJournal",
     "CellResult",
     "DiskCache",
     "TieredCache",
     "backoff_delay",
+    "backoff_wave",
+    "campaign_key",
     "execute_cell",
+    "journal_filename",
     "parse_shard",
     "register_cell_kind",
     "run_campaign",

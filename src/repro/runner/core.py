@@ -40,17 +40,19 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.errors import CampaignError, ReproError
-from repro.obs.metrics import summarize
+from repro.obs.metrics import registry, summarize
 from repro.obs.tracer import Tracer, current_tracer, replant, use_tracer
 from repro.pipeline.cache import default_cache, set_default_cache
 from repro.pipeline.report import aggregate_reports, merge_aggregated
 from repro.runner.cells import Cell, execute_cell
 from repro.runner.diskcache import DiskCache, TieredCache
+from repro.runner.journal import CellJournal, campaign_key
 
 __all__ = [
     "CampaignResult",
     "CellResult",
     "backoff_delay",
+    "backoff_wave",
     "parse_shard",
     "run_campaign",
 ]
@@ -58,7 +60,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CellResult:
-    """Outcome of one cell: payload or failure, plus instrumentation."""
+    """Outcome of one cell: payload or failure, plus instrumentation.
+
+    ``resumed`` marks a cell replayed from the write-ahead journal
+    instead of executed this run: its value/seconds/pid come from the
+    journal record, its ``pipeline`` telemetry is empty (the cell ran
+    zero pipeline passes this run).
+    """
 
     cell: Cell
     index: int
@@ -69,6 +77,7 @@ class CellResult:
     attempts: int = 1
     worker_pid: int | None = None
     pipeline: Mapping[str, Any] = field(default_factory=dict)
+    resumed: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -82,6 +91,7 @@ class CellResult:
             "worker_pid": self.worker_pid,
             "cache_hits": self.pipeline.get("cache_hits", 0),
             "pipelines": self.pipeline.get("pipelines", 0),
+            "resumed": self.resumed,
         }
 
 
@@ -96,6 +106,8 @@ class CampaignResult:
     wall_seconds: float
     cache_dir: str | None
     backoffs: tuple[float, ...] = ()  #: sleep before each retry wave
+    capped_backoffs: int = 0  #: retry waves whose delay hit the cap
+    journal: Mapping[str, Any] | None = None  #: journal stats, if enabled
 
     @property
     def ok(self) -> bool:
@@ -108,6 +120,10 @@ class CampaignResult:
     @property
     def completed(self) -> tuple[CellResult, ...]:
         return tuple(r for r in self.results if r.ok)
+
+    @property
+    def resumed_cells(self) -> tuple[CellResult, ...]:
+        return tuple(r for r in self.results if r.resumed)
 
     def value(self, cell: Cell) -> Any:
         """The payload of ``cell``; raises if it failed or was sharded out."""
@@ -184,13 +200,42 @@ class CampaignResult:
                 "cache_dir": self.cache_dir,
                 "wall_seconds": round(self.wall_seconds, 6),
                 "retry_backoffs": [round(b, 6) for b in self.backoffs],
+                "capped_backoffs": self.capped_backoffs,
                 "executed_cells": len(self.results),
                 "campaign_cells": len(self.cells),
+                "resumed_cells": len(self.resumed_cells),
+                "journal": dict(self.journal) if self.journal else None,
                 "per_cell": [r.to_dict() for r in self.results],
                 "pipeline_report": self.pipeline_summary(),
                 "histograms": self.histograms(),
             },
         }
+
+
+def backoff_wave(
+    base: float,
+    attempt: int,
+    pending_ids: Sequence[int],
+    *,
+    cap: float = 8.0,
+) -> tuple[float, bool]:
+    """Seconds to sleep before retry wave ``attempt``, plus cap status.
+
+    Exponential (``base * 2**(attempt-2)``) with *deterministic* jitter
+    in ``[0.5, 1.5) x nominal``, derived by hashing the attempt number
+    and the pending cell indices — no clock or RNG state, so two runs
+    of the same campaign back off identically, while distinct retry
+    waves (different survivors) decorrelate.  Capped at ``cap``; the
+    second element reports whether the cap clamped the jittered delay,
+    so long chaos soaks can tell exponential backoff from a saturated
+    (clamped) one (``stats.capped_backoffs``).
+    """
+    nominal = base * 2 ** (attempt - 2)
+    text = f"{attempt}|{','.join(map(str, pending_ids))}"
+    h = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    jitter = 0.5 + int.from_bytes(h, "big") / 2**64
+    jittered = nominal * jitter
+    return min(cap, jittered), jittered > cap
 
 
 def backoff_delay(
@@ -200,19 +245,9 @@ def backoff_delay(
     *,
     cap: float = 8.0,
 ) -> float:
-    """Seconds to sleep before retry wave ``attempt`` (2, 3, ...).
-
-    Exponential (``base * 2**(attempt-2)``) with *deterministic* jitter
-    in ``[0.5, 1.5) x nominal``, derived by hashing the attempt number
-    and the pending cell indices — no clock or RNG state, so two runs
-    of the same campaign back off identically, while distinct retry
-    waves (different survivors) decorrelate.  Capped at ``cap``.
-    """
-    nominal = base * 2 ** (attempt - 2)
-    text = f"{attempt}|{','.join(map(str, pending_ids))}"
-    h = hashlib.blake2b(text.encode(), digest_size=8).digest()
-    jitter = 0.5 + int.from_bytes(h, "big") / 2**64
-    return min(cap, nominal * jitter)
+    """The delay half of :func:`backoff_wave` (kept for callers that
+    only need the seconds)."""
+    return backoff_wave(base, attempt, pending_ids, cap=cap)[0]
 
 
 def parse_shard(spec: str) -> tuple[int, int]:
@@ -301,6 +336,30 @@ def _result_from_payload(
     )
 
 
+def _resumed_result(
+    cell: Cell, index: int, payload: Mapping[str, Any]
+) -> CellResult:
+    """A journaled completion replayed into the merge.
+
+    Value, wall seconds, pid and attempt count come from the journal
+    record (they describe the run that actually executed the cell);
+    the pipeline telemetry is empty — this run executed zero passes
+    for the cell, which is what ``stats.per_cell[...].pipelines == 0``
+    asserts in the resume smoke.
+    """
+    return CellResult(
+        cell=cell,
+        index=index,
+        ok=True,
+        value=payload.get("value"),
+        seconds=float(payload.get("seconds", 0.0)),
+        attempts=int(payload.get("attempts", 1)),
+        worker_pid=payload.get("pid"),
+        pipeline={},
+        resumed=True,
+    )
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
@@ -327,10 +386,23 @@ def _parallel_wave(
     cache_dir: str | None,
     cell_timeout: float | None,
     trace: bool = False,
+    on_payload: Any = None,
 ) -> tuple[dict[int, dict[str, Any]], dict[int, str]]:
-    """One submission wave. Returns (payloads by index, unfinished)."""
+    """One submission wave. Returns (payloads by index, unfinished).
+
+    ``on_payload(index, payload)`` fires as each result is collected in
+    the parent — the write-ahead journal hook, called before the wave
+    (let alone the campaign) finishes so a crash mid-wave keeps every
+    collected cell.
+    """
     payloads: dict[int, dict[str, Any]] = {}
     unfinished: dict[int, str] = {}
+
+    def collected(i: int, payload: dict[str, Any]) -> None:
+        payloads[i] = payload
+        if on_payload is not None:
+            on_payload(i, payload)
+
     ex = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init,
@@ -344,14 +416,14 @@ def _parallel_wave(
                 # Pool already abandoned: salvage whatever finished.
                 if fut.done():
                     try:
-                        payloads[i] = fut.result(timeout=0)
+                        collected(i, fut.result(timeout=0))
                         continue
                     except Exception:
                         pass
                 unfinished.setdefault(i, "worker pool abandoned")
                 continue
             try:
-                payloads[i] = fut.result(timeout=cell_timeout)
+                collected(i, fut.result(timeout=cell_timeout))
             except concurrent.futures.TimeoutError:
                 unfinished[i] = (
                     f"cell exceeded timeout of {cell_timeout}s"
@@ -388,6 +460,8 @@ def run_campaign(
     retry_backoff: float = 0.25,
     shard: tuple[int, int] | str | None = None,
     tracer: Tracer | None = None,
+    journal_dir: str | None = None,
+    resume: bool = True,
 ) -> CampaignResult:
     """Execute a campaign; returns a (possibly partial) merged result.
 
@@ -424,6 +498,18 @@ def run_campaign(
         parent re-parents the bundles under one campaign span with
         attempt/pid/timeout metadata, so ``repro-mimd campaign
         --trace-out`` yields a single coherent Perfetto timeline.
+    journal_dir:
+        Directory for the write-ahead cell journal (see
+        :mod:`repro.runner.journal`).  Every completed cell's payload
+        is durably appended before it enters the merge, so a campaign
+        killed at any point can be re-run with the same ``journal_dir``
+        and only the unfinished cells execute — the merged result
+        (and any report derived from the deterministic payloads) is
+        byte-identical to an uninterrupted run.
+    resume:
+        With ``journal_dir``, replay journaled completions instead of
+        re-executing them (default).  ``False`` ignores existing
+        records but still journals this run's completions.
     """
     if workers < 1:
         raise ReproError(f"workers must be >= 1, got {workers}")
@@ -451,18 +537,68 @@ def run_campaign(
     results: dict[int, CellResult] = {}
     last_error: dict[int, str] = {}
     backoffs: list[float] = []
-    pending = list(selected)
+    capped_backoffs = 0
     attempt = 0
+    journal = (
+        CellJournal.open(journal_dir, campaign_key(cells), shard=shard)
+        if journal_dir is not None
+        else None
+    )
+    journal_info: dict[str, Any] | None = None
+
+    def _journal_payload(i: int, payload: Mapping[str, Any]) -> None:
+        """Write-ahead hook: journal a completed cell as it arrives."""
+        if journal is None or not payload.get("ok"):
+            return
+        journal.append(
+            cells[i].cell_id,
+            {
+                "value": payload.get("value"),
+                "seconds": round(float(payload.get("seconds", 0.0)), 6),
+                "pid": payload.get("pid"),
+                "attempts": attempt,
+            },
+        )
+
     with tracer.span("campaign", "campaign") as campaign_span:
         campaign_span.set("workers", workers)
         campaign_span.set("cells", len(selected))
         campaign_span.set("cache_dir", cache_dir)
+        if journal is not None:
+            with tracer.span("recover", "journal") as jspan:
+                recovery = journal.recover()
+                if resume:
+                    for i in selected:
+                        payload = recovery.payloads.get(cells[i].cell_id)
+                        if payload is not None:
+                            results[i] = _resumed_result(
+                                cells[i], i, payload
+                            )
+                resumed_now = len(results)
+                jspan.set("path", journal.path)
+                jspan.set("records", recovery.records)
+                jspan.set("torn_tail", recovery.torn_tail)
+                jspan.set("resumed", resumed_now)
+            if resumed_now:
+                registry().counter("runner.resumed_cells").inc(resumed_now)
+            campaign_span.set("journal", journal.path)
+            campaign_span.set("journal.resumed", resumed_now)
+            journal_info = {
+                "path": journal.path,
+                "records": recovery.records,
+                "torn_tail": recovery.torn_tail,
+                "resumed_cells": resumed_now,
+            }
+        pending = [i for i in selected if i not in results]
         while pending and attempt <= retries:
             attempt += 1
             if attempt > 1 and retry_backoff > 0:
-                delay = backoff_delay(retry_backoff, attempt, sorted(pending))
+                delay, capped = backoff_wave(
+                    retry_backoff, attempt, sorted(pending)
+                )
                 campaign_span.set(f"backoff.attempt{attempt}", round(delay, 6))
                 backoffs.append(delay)
+                capped_backoffs += capped
                 time.sleep(delay)
             if workers == 1:
                 payloads: dict[int, dict[str, Any]] = {}
@@ -472,12 +608,19 @@ def run_campaign(
                 try:
                     for i in pending:
                         payloads[i] = _cell_task(cells[i], trace)
+                        _journal_payload(i, payloads[i])
                 finally:
                     if cache_dir:
                         set_default_cache(prev)
             else:
                 payloads, unfinished = _parallel_wave(
-                    cells, pending, workers, cache_dir, cell_timeout, trace
+                    cells,
+                    pending,
+                    workers,
+                    cache_dir,
+                    cell_timeout,
+                    trace,
+                    on_payload=_journal_payload,
                 )
             still: list[int] = []
             for i in pending:
@@ -533,4 +676,6 @@ def run_campaign(
         wall_seconds=time.perf_counter() - t0,
         cache_dir=cache_dir,
         backoffs=tuple(backoffs),
+        capped_backoffs=capped_backoffs,
+        journal=journal_info,
     )

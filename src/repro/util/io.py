@@ -1,10 +1,16 @@
-"""Atomic file writes.
+"""Atomic file writes and durable appends.
 
-Historically this lived twice — ``obs/export.py`` (text, for trace and
-JSON artifacts) and ``runner/diskcache.py`` (bytes, for cache entries)
-imported one of the two copies.  This module is the single
-implementation; both layers plus the serve daemon's response/artifact
-writes go through it.
+Historically the atomic helpers lived twice — ``obs/export.py`` (text,
+for trace and JSON artifacts) and ``runner/diskcache.py`` (bytes, for
+cache entries) imported one of the two copies.  This module is the
+single implementation; both layers plus the serve daemon's
+response/artifact writes go through it.
+
+:func:`append_bytes` is the durability primitive for *append-only*
+files (the runner's write-ahead cell journal, the fuzz signature
+store): a whole-file atomic rewrite would be O(file) per record, so
+appends instead flush+fsync each record and rely on the reader to
+recognise — and discard — a torn tail left by a crash mid-append.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import os
 import tempfile
 
-__all__ = ["atomic_write_bytes", "atomic_write_text"]
+__all__ = ["append_bytes", "atomic_write_bytes", "atomic_write_text"]
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:
@@ -45,3 +51,20 @@ def atomic_write_text(path: str, text: str) -> None:
     if not isinstance(text, str):
         raise TypeError(f"atomic_write_text needs str, got {type(text)}")
     atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def append_bytes(path: str, data: bytes, *, fsync: bool = True) -> None:
+    """Append ``data`` to ``path`` durably (flush + fsync by default).
+
+    Unlike the atomic writers this is *not* torn-proof — a crash
+    mid-append can leave a partial record at the end of the file.  It
+    is meant for checksummed, record-framed append-only logs whose
+    readers detect and drop such a tail (see
+    :mod:`repro.runner.journal`); in exchange an append costs O(record)
+    instead of O(file).
+    """
+    with open(path, "ab") as fh:
+        fh.write(data)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())

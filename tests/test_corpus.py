@@ -57,6 +57,72 @@ def test_corpus_files_carry_notes():
         assert "case" in data
 
 
+def test_corpus_files_carry_current_version():
+    from repro.fuzz.corpus import CORPUS_VERSION
+
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        data = json.loads(path.read_text())
+        assert data.get("version") == CORPUS_VERSION, path.name
+
+
+def test_unknown_entry_version_is_rejected(tmp_path):
+    from repro.errors import ReproError
+
+    entry = json.loads(
+        (CORPUS_DIR / "singleton_self_dep.json").read_text()
+    )
+    entry["version"] = 99
+    (tmp_path / "future.json").write_text(json.dumps(entry))
+    with pytest.raises(ReproError, match=r"future\.json.*version 99"):
+        load_corpus(tmp_path)
+
+
+def test_missing_entry_version_is_rejected(tmp_path):
+    from repro.errors import ReproError
+
+    entry = json.loads(
+        (CORPUS_DIR / "singleton_self_dep.json").read_text()
+    )
+    del entry["version"]
+    (tmp_path / "versionless.json").write_text(json.dumps(entry))
+    with pytest.raises(ReproError, match=r"versionless\.json.*version"):
+        load_corpus(tmp_path)
+
+
+def test_unknown_entry_field_is_rejected(tmp_path):
+    from repro.errors import ReproError
+
+    entry = json.loads(
+        (CORPUS_DIR / "singleton_self_dep.json").read_text()
+    )
+    entry["surprise"] = True
+    (tmp_path / "extra.json").write_text(json.dumps(entry))
+    with pytest.raises(ReproError, match=r"extra\.json.*surprise"):
+        load_corpus(tmp_path)
+
+
+def test_bare_case_dict_entry_still_loads(tmp_path):
+    """Hand-written entries that are just a FuzzCase dict (no wrapper)
+    predate versioning and must keep loading."""
+    case = corpus[sorted(corpus)[0]]
+    (tmp_path / "bare.json").write_text(json.dumps(case.to_dict()))
+    loaded = load_corpus(tmp_path)
+    assert loaded["bare"].canonical_json() == case.canonical_json()
+
+
+def test_saved_entries_carry_provenance(tmp_path):
+    case = corpus[sorted(corpus)[0]]
+    written = save_case(
+        case,
+        tmp_path,
+        notes="provenance round trip",
+        provenance={"seed": 1, "oracle": "rate"},
+    )
+    data = json.loads(written.read_text())
+    assert data["provenance"] == {"seed": 1, "oracle": "rate"}
+    assert load_corpus(tmp_path)  # still a valid entry
+
+
 def test_corpus_source_cases_match_their_graphs():
     """For mini-language entries the stored graph must be exactly what
     the front end derives from the stored source."""
